@@ -1,0 +1,63 @@
+"""Shared paper-scale artifacts for the benchmark harness.
+
+Every benchmark reproduces one evaluation artifact of the paper at the
+published configuration (local HPCG problem nx=ny=nz=104, 4 MG levels,
+simulated interior rank of a 24-rank job, analytic memory engine) and
+writes its regenerated rows to ``benchmarks/results/``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.figures import build_figure1
+from repro.extrae.tracer import TracerConfig
+from repro.folding.report import fold_trace
+from repro.pipeline import Session, SessionConfig
+from repro.workloads import HpcgConfig, HpcgWorkload
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: the paper's run: 24 ranks on one Jureca node, 1-D z decomposition
+PAPER_RANKS = 24
+
+
+def paper_workload_config(n_iterations: int = 10, **overrides) -> HpcgConfig:
+    kwargs = dict(
+        nx=104, ny=104, nz=104, nlevels=4, n_iterations=n_iterations,
+        rank=PAPER_RANKS // 2, npz=PAPER_RANKS,
+    )
+    kwargs.update(overrides)
+    return HpcgConfig(**kwargs)
+
+
+def paper_session_config(seed: int = 0, **tracer_overrides) -> SessionConfig:
+    tracer_kwargs = dict(load_period=20_000, store_period=20_000)
+    tracer_kwargs.update(tracer_overrides)
+    return SessionConfig(
+        seed=seed, engine="analytic", tracer=TracerConfig(**tracer_kwargs)
+    )
+
+
+def write_result(name: str, text: str) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def paper_trace():
+    """The §III trace at full published scale."""
+    session = Session(paper_session_config())
+    return session.run(HpcgWorkload(paper_workload_config()))
+
+
+@pytest.fixture(scope="session")
+def paper_report(paper_trace):
+    return fold_trace(paper_trace)
+
+
+@pytest.fixture(scope="session")
+def paper_figure(paper_report):
+    return build_figure1(paper_report)

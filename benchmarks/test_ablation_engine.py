@@ -1,0 +1,91 @@
+"""A4 — ablation: precise vs analytic memory-engine agreement.
+
+DESIGN.md's fidelity-mode contract: the closed-form engine that makes
+the 104³ runs feasible must agree with the per-access set-associative
+simulator in the regime the evaluation probes.  The bench runs the
+*same* HPCG problem (small enough for per-access simulation) under both
+engines and compares miss counters and folded bandwidths.
+"""
+
+import pytest
+
+from repro.analysis.figures import build_figure1
+from repro.extrae.tracer import TracerConfig
+from repro.folding.report import fold_trace
+from repro.pipeline import Session, SessionConfig
+from repro.util.tables import format_table
+from repro.workloads import HpcgConfig, HpcgWorkload
+
+from .conftest import write_result
+
+# Small enough for the per-access engine, large enough to stream past
+# the (default Haswell-like) L1/L2.  The run-length-collapsing precise
+# engine handles ~10 M accesses in seconds.
+NX, NLEVELS, ITERS = 24, 2, 3
+
+
+def run_engine(engine, seed=21):
+    config = SessionConfig(
+        seed=seed,
+        engine=engine,
+        tracer=TracerConfig(load_period=2_000, store_period=2_000),
+    )
+    session = Session(config)
+    trace = session.run(
+        HpcgWorkload(
+            HpcgConfig(nx=NX, ny=NX, nz=NX, nlevels=NLEVELS,
+                       n_iterations=ITERS, rank=1, npz=3)
+        )
+    )
+    return session, trace
+
+
+def test_ablation_engine_agreement(benchmark):
+    _, analytic_trace = run_engine("analytic")
+    analytic_session, analytic_trace = run_engine("analytic")
+    precise_session, precise_trace = benchmark.pedantic(
+        lambda: run_engine("precise"), rounds=1, iterations=1
+    )
+
+    ca = analytic_session.machine.counters
+    cp = precise_session.machine.counters
+
+    # --- aggregate hardware counters agree ------------------------------
+    assert ca.instructions == cp.instructions
+    assert ca.loads == cp.loads and ca.stores == cp.stores
+    assert ca.l1d_misses == pytest.approx(cp.l1d_misses, rel=0.10)
+    assert ca.dram_lines == pytest.approx(cp.dram_lines, rel=0.15)
+    # Total simulated time within 15%.
+    assert ca.cycles == pytest.approx(cp.cycles, rel=0.15)
+
+    # --- folded analyses agree -------------------------------------------
+    fig_a = build_figure1(fold_trace(analytic_trace))
+    fig_p = build_figure1(fold_trace(precise_trace))
+    assert fig_a.phases.major_sequence() == fig_p.phases.major_sequence()
+    for label in ("a1", "a2", "B"):
+        assert fig_a.bandwidth_MBps[label] == pytest.approx(
+            fig_p.bandwidth_MBps[label], rel=0.20
+        ), label
+
+    rows = [
+        ("instructions", ca.instructions, cp.instructions),
+        ("loads", ca.loads, cp.loads),
+        ("stores", ca.stores, cp.stores),
+        ("L1D misses", ca.l1d_misses, cp.l1d_misses),
+        ("L2 misses", ca.l2_misses, cp.l2_misses),
+        ("L3 misses", ca.l3_misses, cp.l3_misses),
+        ("DRAM lines", ca.dram_lines, cp.dram_lines),
+        ("cycles", int(ca.cycles), int(cp.cycles)),
+        ("a1 MB/s", round(fig_a.bandwidth_MBps["a1"], 1),
+         round(fig_p.bandwidth_MBps["a1"], 1)),
+        ("B MB/s", round(fig_a.bandwidth_MBps["B"], 1),
+         round(fig_p.bandwidth_MBps["B"], 1)),
+    ]
+    write_result(
+        "A4_engine.md",
+        format_table(
+            ["quantity", "analytic", "precise"],
+            rows,
+            title=f"A4 — engine agreement on HPCG {NX}^3 x {ITERS} iterations",
+        ),
+    )

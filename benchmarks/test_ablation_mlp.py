@@ -1,0 +1,62 @@
+"""A1 — ablation: per-kernel MLP drives the bandwidth ordering.
+
+DESIGN.md calls out that the SPMV > SYMGS bandwidth gap (and the small
+forward/backward asymmetry) is produced by the per-kernel memory-level
+parallelism in the cost model, not hard-coded.  Forcing all kernels to
+one MLP collapses the published ordering; restoring the fitted values
+reproduces it.
+"""
+
+import pytest
+
+from repro.analysis.figures import build_figure1
+from repro.folding.report import fold_trace
+from repro.pipeline import Session
+from repro.util.tables import format_table
+from repro.workloads import HpcgWorkload
+
+from .conftest import paper_session_config, paper_workload_config, write_result
+
+
+def run_with_mlp(mlp_table, seed=7):
+    session = Session(paper_session_config(seed=seed))
+    cfg = paper_workload_config(n_iterations=4, mlp=mlp_table)
+    trace = session.run(HpcgWorkload(cfg))
+    return build_figure1(fold_trace(trace))
+
+
+def test_ablation_mlp(benchmark, paper_figure):
+    flat = dict.fromkeys(
+        ("symgs_forward", "symgs_backward", "spmv", "default"), 8.0
+    )
+    figure_flat = benchmark.pedantic(
+        lambda: run_with_mlp(flat), rounds=1, iterations=1
+    )
+
+    fitted_bw = paper_figure.bandwidth_MBps
+    flat_bw = figure_flat.bandwidth_MBps
+
+    # Fitted model: the published ordering and the ~1.53x SPMV gap.
+    assert fitted_bw["a1"] < fitted_bw["a2"] < fitted_bw["B"]
+    assert fitted_bw["B"] / fitted_bw["a1"] == pytest.approx(1.53, rel=0.05)
+
+    # Flat MLP: the kernels stream identical traffic, so their
+    # bandwidths collapse to within a few percent and the forward/
+    # backward asymmetry disappears.
+    assert flat_bw["B"] / flat_bw["a1"] == pytest.approx(1.0, abs=0.06)
+    assert flat_bw["a2"] / flat_bw["a1"] == pytest.approx(1.0, abs=0.04)
+
+    rows = [
+        ("fitted (paper model)", fitted_bw["a1"], fitted_bw["a2"], fitted_bw["B"],
+         fitted_bw["B"] / fitted_bw["a1"]),
+        ("flat MLP = 8 (ablation)", flat_bw["a1"], flat_bw["a2"], flat_bw["B"],
+         flat_bw["B"] / flat_bw["a1"]),
+    ]
+    write_result(
+        "A1_mlp.md",
+        format_table(
+            ["model", "a1 MB/s", "a2 MB/s", "B MB/s", "B/a1"],
+            rows,
+            title="A1 — per-kernel MLP ablation",
+        ),
+    )

@@ -1,0 +1,90 @@
+"""A3 — ablation: the allocation-tracking threshold (E5 as a curve).
+
+HPCG's per-row allocations are 108–216 bytes; the std::map nodes 80.
+Sweeping the tracker's size threshold shows the cliff the paper's
+preliminary analysis fell off: any threshold above ~80 bytes loses the
+map nodes, above ~216 loses everything, and no practical threshold can
+track millions of tiny objects individually — which is why grouping
+(not threshold tuning) is the fix.
+"""
+
+from repro.extrae.tracer import TracerConfig
+from repro.objects.resolver import resolve_trace
+from repro.pipeline import Session, SessionConfig
+from repro.util.tables import format_table
+from repro.workloads import HpcgWorkload
+
+from .conftest import paper_workload_config, write_result
+
+# Thresholds bracketing the HPCG allocation sizes (80..216 bytes).
+THRESHOLDS = (64, 128, 256, 1024)
+
+# A smaller problem keeps the per-allocation tracking honest: with a
+# threshold of 64 every one of the 4*rows tiny allocations becomes an
+# individually tracked object.
+NX, NLEVELS = 32, 2
+
+
+def run_with_threshold(threshold, seed=13):
+    config = SessionConfig(
+        seed=seed,
+        engine="analytic",
+        tracer=TracerConfig(
+            load_period=5_000, store_period=5_000,
+            alloc_threshold_bytes=threshold,
+        ),
+    )
+    session = Session(config)
+    trace = session.run(
+        HpcgWorkload(
+            paper_workload_config(
+                n_iterations=3, nx=NX, ny=NX, nz=NX, nlevels=NLEVELS,
+                wrap_matrix=False,
+            )
+        )
+    )
+    return session, trace
+
+
+def test_ablation_threshold(benchmark):
+    rows = []
+    matched = {}
+    tracked = {}
+    for threshold in THRESHOLDS:
+        if threshold == 1024:
+            session, trace = benchmark.pedantic(
+                lambda: run_with_threshold(1024), rounds=1, iterations=1
+            )
+        else:
+            session, trace = run_with_threshold(threshold)
+        report = resolve_trace(trace)
+        stats = session.tracer.interceptor.stats
+        matched[threshold] = report.matched_fraction
+        tracked[threshold] = stats.tracked
+        rows.append(
+            (threshold, stats.tracked, stats.untracked,
+             report.matched_fraction * 100.0)
+        )
+
+    # Threshold 64 tracks every tiny allocation: everything matches,
+    # but at the cost of one tracked object per allocation (the trace
+    # blow-up the paper avoids).
+    n_rows = NX**3 + (NX // 2) ** 3
+    assert matched[64] > 0.99
+    assert tracked[64] >= 4 * n_rows
+
+    # 128 keeps indL (108 B) but drops the 80 B map nodes.
+    assert tracked[128] < tracked[64]
+    # 256 and up lose all per-row allocations: matching collapses.
+    assert matched[256] < 0.5
+    assert matched[1024] < 0.5
+    assert tracked[1024] < 100
+
+    write_result(
+        "A3_threshold.md",
+        format_table(
+            ["threshold (B)", "tracked allocs", "untracked allocs", "matched %"],
+            rows,
+            title=f"A3 — tracking-threshold sweep ({NX}^3, no wrapping)",
+        ),
+    )

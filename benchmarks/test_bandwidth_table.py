@@ -1,0 +1,46 @@
+"""E4 — §III bandwidth approximations: 4197 / 4315 / 6427 MB/s.
+
+"Since the results shown in Figure 1 indicate that a1 and a2 traverse
+the whole data structure, the approximations for the memory bandwidth
+while traversing the structure are 4197 MB/s and 4315 MB/s,
+respectively.  In comparison, the observed bandwidth while traversing
+the same structure in region B achieves 6427 MB/s."
+"""
+
+import pytest
+
+from repro.analysis.bandwidth import phase_bandwidth_MBps
+from repro.simproc.calibration import PAPER_TARGETS
+from repro.workloads.hpcg.problem import MATRIX_GROUP_NAME
+
+from .conftest import write_result
+
+
+def test_bandwidth_table(benchmark, paper_report, paper_figure):
+    phases = paper_figure.phases
+
+    def compute():
+        return {
+            label: phase_bandwidth_MBps(
+                paper_report, phases.get(label), MATRIX_GROUP_NAME,
+                require_coverage=True,
+            )
+            for label in ("a1", "a2", "B")
+        }
+
+    bw = benchmark.pedantic(compute, rounds=3, iterations=1)
+
+    paper = {
+        "a1": PAPER_TARGETS["bandwidth_a1_MBps"],
+        "a2": PAPER_TARGETS["bandwidth_a2_MBps"],
+        "B": PAPER_TARGETS["bandwidth_B_MBps"],
+    }
+
+    # --- who wins, by what factor, absolute proximity -------------------
+    assert bw["a1"] < bw["a2"] < bw["B"]
+    for label in paper:
+        assert bw[label] == pytest.approx(paper[label], rel=0.10), label
+    assert bw["B"] / bw["a1"] == pytest.approx(6427.0 / 4197.0, rel=0.05)
+    assert bw["a2"] / bw["a1"] == pytest.approx(4315.0 / 4197.0, rel=0.03)
+
+    write_result("E4_bandwidth.md", paper_figure.bandwidth_table())

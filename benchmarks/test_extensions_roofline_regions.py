@@ -1,0 +1,45 @@
+"""X3 — roofline positioning and code-region progression at paper scale.
+
+Makes the §III observations quantitative: HPCG's phases all sit deep in
+the memory-bound region of the roofline (which is why the paper reports
+MB/s, not GFLOP/s), and the per-code-region table reproduces §II's
+"progression on code regions and their access to the address space"
+as one artifact.
+"""
+
+from repro.analysis.regions import region_progress
+from repro.analysis.roofline import roofline
+
+from .conftest import write_result
+
+
+def test_roofline_and_regions(benchmark, paper_trace, paper_report, paper_figure):
+    rl = benchmark.pedantic(
+        lambda: roofline(paper_report, paper_figure.phases),
+        rounds=3, iterations=1,
+    )
+
+    # --- every HPCG phase is memory-bound -------------------------------
+    for p in rl.points:
+        assert p.intensity < rl.roof.ridge_intensity, p.label
+        assert p.gflops <= p.bound_gflops * 1.05, p.label
+    # The 27-pt stencil's intensity: ~54 flops over ~650 B moved per row.
+    a1 = rl.point("a1")
+    assert 0.03 < a1.intensity < 0.3
+
+    # --- per-region progression -----------------------------------------
+    regions = region_progress(paper_trace)
+    symgs = regions.region("ComputeSYMGS_ref")
+    spmv = regions.region("ComputeSPMV_ref")
+    # SYMGS dominates total time; its folded view mixes both sweep
+    # directions while SPMV is a pure forward sweep.
+    assert symgs.mean_duration_ns * symgs.occurrences > (
+        spmv.mean_duration_ns * spmv.occurrences
+    )
+    assert symgs.direction_name == "mixed"
+    assert spmv.direction_name == "forward"
+    # SPMV achieves higher MIPS (the paper's kernel asymmetry).
+    assert spmv.mips_mean > symgs.mips_mean
+
+    text = rl.to_table() + "\n\n" + regions.to_table()
+    write_result("X3_roofline_regions.md", text)

@@ -1,0 +1,72 @@
+"""X1 — the paper's claimed capabilities as concrete tool output.
+
+§IV claims the exploration includes "the identification of the most
+dominant data streams and their temporal evolution along computing
+regions" and closes with the hybrid-memory observation ("a portion of
+the address space is only read during the execution phase [and] might
+benefit from memory technologies where loads are faster than stores").
+
+This bench produces both at the published scale: the dominant-stream
+table (with temporal activity windows per phase) and the hybrid-memory
+placement plan built from the read-only classification.
+"""
+
+import pytest
+
+from repro.analysis.hybrid import HybridMemoryModel, advise_placement
+from repro.analysis.streams import identify_streams
+from repro.workloads.hpcg.problem import MAP_GROUP_NAME, MATRIX_GROUP_NAME
+
+from .conftest import write_result
+
+
+def test_dominant_streams_and_placement(benchmark, paper_report, paper_figure):
+    streams = benchmark.pedantic(
+        lambda: identify_streams(paper_report, paper_figure.phases),
+        rounds=3, iterations=1,
+    )
+
+    # --- dominant streams -------------------------------------------------
+    # The matrix group dominates the sampled traffic...
+    top = streams.streams[0]
+    assert top.name == MATRIX_GROUP_NAME
+    assert top.share > 0.45
+    # ...is steady across the whole iteration (every phase sweeps it)...
+    assert not top.is_bursty()
+    lo, hi = top.active_window()
+    assert lo < 0.05 and hi > 0.95
+    # ...and is read-only in the execution phase.
+    assert top.load_fraction == 1.0
+
+    # The coarse-level matrix streams light up only inside phase C.
+    coarse = streams.stream(MATRIX_GROUP_NAME + "@L1")
+    assert coarse.is_bursty()
+    assert coarse.phase_share["C"] > 0.9
+
+    # The map group never appears: it is a setup-only structure.
+    with pytest.raises(KeyError):
+        streams.stream(MAP_GROUP_NAME)
+
+    # --- hybrid-memory placement ------------------------------------------
+    plan = advise_placement(paper_report)
+    matrix_advice = next(a for a in plan.advice if a.name == MATRIX_GROUP_NAME)
+    assert matrix_advice.classification == "read-only"
+    assert matrix_advice.recommend_move
+    assert plan.total_delta() < -0.10  # >10 % modeled memory-time gain
+
+    # A store-punishing tier keeps the frequently written vectors home.
+    harsh = advise_placement(
+        paper_report, HybridMemoryModel(load_factor=0.95, store_factor=8.0)
+    )
+    kept_rw = [a for a in harsh.advice
+               if a.classification == "read-write" and not a.recommend_move]
+    assert kept_rw, "read-write vectors stay in DRAM under a harsh tier"
+
+    text = streams.to_table(top=8)
+    text += "\n\n" + plan.to_table(top=8)
+    text += (
+        f"\n\nplan: move {len(plan.moved())} objects "
+        f"({plan.moved_bytes() / 1e6:,.0f} MB), modeled memory-time change "
+        f"{plan.total_delta() * 100:+.1f}%"
+    )
+    write_result("X1_streams_hybrid.md", text)

@@ -1,0 +1,51 @@
+"""E6 — Figure 1 legend: the two allocation groups and their sizes.
+
+``124_GenerateProblem_ref.cpp | 617 MB`` (the per-row matrix arrays of
+lines 108–110, wrapped) and ``205_GenerateProblem_ref.cpp | 89 MB``
+(the std::map nodes of line 143).
+"""
+
+import pytest
+
+from repro.objects.registry import DataObjectRegistry
+from repro.simproc.calibration import PAPER_TARGETS
+from repro.workloads.hpcg.problem import MAP_GROUP_NAME, MATRIX_GROUP_NAME
+
+from .conftest import write_result
+
+
+def test_object_inventory(benchmark, paper_trace, paper_figure):
+    registry = benchmark.pedantic(
+        lambda: DataObjectRegistry(paper_trace.objects), rounds=5, iterations=1
+    )
+
+    by_name = {r.name: r for r in registry.records}
+    matrix = by_name[MATRIX_GROUP_NAME]
+    mapgrp = by_name[MAP_GROUP_NAME]
+
+    # --- sizes next to the published legend ------------------------------
+    assert matrix.bytes_user / 1e6 == pytest.approx(
+        PAPER_TARGETS["object_group_124_MB"], rel=0.05
+    )
+    assert mapgrp.bytes_user / 1e6 == pytest.approx(
+        PAPER_TARGETS["object_group_205_MB"], rel=0.05
+    )
+
+    # Structure: the groups are allocation groups built from per-row
+    # allocations (3 per row for the matrix, 1 per row for the map).
+    rows = 104**3
+    assert matrix.kind == "group" and matrix.n_allocations == 3 * rows
+    assert mapgrp.kind == "group" and mapgrp.n_allocations == rows
+
+    # The wrapped groups are the two largest data objects, like Fig. 1.
+    largest = registry.largest(2)
+    assert {r.name for r in largest} == {MATRIX_GROUP_NAME, MAP_GROUP_NAME}
+
+    text = paper_figure.legend_table()
+    text += (
+        f"\n\nmatrix group: {matrix.n_allocations:,} allocations "
+        f"(3 per row x {rows:,} rows), span {matrix.span / 1e6:,.1f} MB\n"
+        f"map group: {mapgrp.n_allocations:,} allocations "
+        f"(1 node per row), span {mapgrp.span / 1e6:,.1f} MB"
+    )
+    write_result("E6_inventory.md", text)

@@ -1,0 +1,83 @@
+"""X2 — the 24-rank node run (§III: "using the 24 cores of a node").
+
+The paper executes HPCG on all 24 cores and folds one task's trace.
+The bench simulates the full 24-rank stack (at a reduced local size so
+all ranks run in seconds), checks the per-rank halo configurations and
+ASLR independence, and confirms the folded analysis of the interior
+rank — the one the figure shows — is representative.
+"""
+
+from repro.analysis.figures import build_figure1
+from repro.extrae.tracer import TracerConfig
+from repro.folding.report import fold_trace
+from repro.parallel import RankSet
+from repro.pipeline import SessionConfig
+from repro.util.tables import format_table
+from repro.workloads import HpcgConfig, HpcgWorkload
+
+from .conftest import PAPER_RANKS, write_result
+
+NX, NLEVELS, ITERS = 24, 2, 2
+
+
+def factory(rank, n_ranks):
+    return HpcgWorkload(
+        HpcgConfig(nx=NX, ny=NX, nz=NX, nlevels=NLEVELS, n_iterations=ITERS,
+                   rank=rank, npz=n_ranks)
+    )
+
+
+def test_rankset_24(benchmark):
+    config = SessionConfig(
+        seed=77,
+        engine="analytic",
+        tracer=TracerConfig(load_period=10_000, store_period=10_000),
+    )
+
+    results = benchmark.pedantic(
+        lambda: RankSet(PAPER_RANKS, config).run(factory),
+        rounds=1, iterations=1,
+    )
+    assert len(results) == PAPER_RANKS
+
+    # Halo structure: only the edge ranks miss a neighbour.
+    for r in results:
+        ann = r.trace.metadata["annotations"]
+        has_bottom = "bottom" in ann
+        has_top = "top" in ann
+        assert has_bottom == (r.rank > 0)
+        assert has_top == (r.rank < PAPER_RANKS - 1)
+
+    # ASLR: every rank has its own layout.
+    bases = {r.trace.metadata["annotations"]["matrix_span"][0] for r in results}
+    assert len(bases) == PAPER_RANKS
+
+    # Interior ranks do identical work: durations within 2 %.
+    durations = [
+        r.trace.metadata["duration_ns"] for r in results[1:-1]
+    ]
+    spread = (max(durations) - min(durations)) / min(durations)
+    assert spread < 0.02
+
+    # The folded analysis of the interior rank shows the figure's
+    # structure — the paper's single-task view is representative.
+    mid = results[PAPER_RANKS // 2]
+    figure = build_figure1(fold_trace(mid.trace))
+    assert figure.phases.major_sequence() == ["A", "B", "C", "D", "E"]
+
+    rows = [
+        (r.rank,
+         "yes" if "bottom" in r.trace.metadata["annotations"] else "no",
+         "yes" if "top" in r.trace.metadata["annotations"] else "no",
+         r.trace.metadata["duration_ns"] / 1e6,
+         r.trace.n_samples)
+        for r in results[:4] + results[11:13] + results[-2:]
+    ]
+    write_result(
+        "X2_rankset.md",
+        format_table(
+            ["rank", "bottom halo", "top halo", "duration ms", "samples"],
+            rows,
+            title=f"X2 — 24-rank stack (local {NX}^3, edge + interior ranks)",
+        ),
+    )

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""The paper's preliminary-analysis story: unmatched references → grouping.
+
+§III: "In a preliminary analysis of the application, most of the PEBS
+references were not associated to a memory object.  This occurs because
+the application allocates its data using many consecutive allocations
+below the threshold (100s of bytes). [...] we grouped these allocations
+in two groups by manually wrapping the first and last addresses."
+
+This example runs HPCG three times:
+
+1. without grouping — reproducing the unmatched state;
+2. with the paper's manual wrapping instrumentation;
+3. without grouping, but applying the library's *automatic
+   run-grouping* extension on the tool side.
+"""
+
+from repro.extrae.tracer import TracerConfig
+from repro.objects.grouping import auto_group_runs
+from repro.objects.registry import DataObjectRegistry
+from repro.objects.resolver import resolve_trace
+from repro.pipeline import Session, SessionConfig
+from repro.workloads import HpcgConfig, HpcgWorkload
+
+
+def run(wrap_matrix: bool, seed: int = 0):
+    config = SessionConfig(
+        seed=seed,
+        engine="analytic",
+        tracer=TracerConfig(load_period=10_000, store_period=10_000),
+    )
+    session = Session(config)
+    workload = HpcgWorkload(
+        HpcgConfig(nx=48, ny=48, nz=48, nlevels=3, n_iterations=4,
+                   rank=1, npz=3, wrap_matrix=wrap_matrix)
+    )
+    return session, session.run(workload)
+
+
+def main() -> None:
+    # 1. Preliminary analysis: per-row allocations below the threshold.
+    session, trace = run(wrap_matrix=False)
+    before = resolve_trace(trace)
+    print("1) no grouping (the preliminary analysis)")
+    print(f"   allocations below threshold: "
+          f"{session.tracer.interceptor.stats.untracked:,}")
+    print(f"   matched references: {before.matched_fraction:.1%}  "
+          f"<- 'most of the PEBS references were not associated'\n")
+
+    # 2. The paper's fix: manual wrapping instrumentation.
+    _, wrapped_trace = run(wrap_matrix=True)
+    after = resolve_trace(wrapped_trace)
+    print("2) manual wrapping (the paper's fix)")
+    print(f"   matched references: {after.matched_fraction:.1%}")
+    print(after.to_table(top=6))
+    print()
+
+    # 3. Extension: recover the objects tool-side from allocation runs,
+    #    without touching the application.
+    groups = auto_group_runs(session.allocator, min_total_bytes=1 << 20)
+    registry = DataObjectRegistry(trace.objects + groups)
+    recovered = resolve_trace(trace, registry)
+    print("3) automatic run-grouping (no application changes)")
+    print(f"   synthesized groups: {[g.name for g in groups][:4]} ...")
+    print(f"   matched references: {recovered.matched_fraction:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Before/after comparison on the folded axis.
+
+A classic tuning workflow: you changed something (here: the SPMV kernel
+gains memory-level parallelism, as software prefetching would provide)
+and want to see *where inside the iteration* the time went.  Folding
+makes runs comparable point by point; this example diffs the baseline
+HPCG against the "optimized" build per phase.
+"""
+
+from repro.analysis.compare import compare_reports
+from repro.analysis.phases import segment_iteration
+from repro.extrae.tracer import TracerConfig
+from repro.folding.report import fold_trace
+from repro.pipeline import Session, SessionConfig
+from repro.simproc.calibration import KERNEL_MLP
+from repro.workloads import HpcgConfig, HpcgWorkload
+
+
+def run(mlp: dict, seed: int = 9):
+    config = SessionConfig(
+        seed=seed,
+        engine="analytic",
+        tracer=TracerConfig(load_period=5_000, store_period=5_000),
+    )
+    trace = Session(config).run(
+        HpcgWorkload(HpcgConfig(nx=48, ny=48, nz=48, nlevels=2,
+                                n_iterations=5, rank=1, npz=3, mlp=mlp))
+    )
+    report = fold_trace(trace)
+    phases = segment_iteration(trace, report.instances, report.samples)
+    return report, phases
+
+
+def main() -> None:
+    baseline_mlp = dict(KERNEL_MLP)
+    optimized_mlp = dict(KERNEL_MLP)
+    optimized_mlp["spmv"] = KERNEL_MLP["spmv"] * 1.6  # prefetched SPMV
+
+    print("running baseline ...")
+    base_report, base_phases = run(baseline_mlp)
+    print("running optimized-SPMV build ...\n")
+    opt_report, opt_phases = run(optimized_mlp)
+
+    cmp = compare_reports(
+        base_report, opt_report, base_phases, opt_phases,
+        name_a="baseline", name_b="spmv-prefetch",
+    )
+    print(cmp.to_table())
+
+    deltas = {d.label: d for d in cmp.phase_deltas}
+    print(f"\nSPMV phases B/E sped up {deltas['B'].speedup:.2f}x / "
+          f"{deltas['E'].speedup:.2f}x; the SYMGS phases are unchanged "
+          f"({deltas['A'].speedup:.2f}x) — the folded diff localizes the "
+          f"gain to exactly the kernels that changed.")
+
+
+if __name__ == "__main__":
+    main()

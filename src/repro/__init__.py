@@ -1,0 +1,43 @@
+"""Reproduction of "Integrating Memory Perspective into the BSC
+Performance Tools" (Servat, Labarta, Hoppe, Giménez, Peña — ICPP 2017).
+
+The package rebuilds the paper's complete measurement-and-analysis
+chain on a simulated substrate:
+
+* :mod:`repro.extrae` — the monitoring tool: instrumentation, PEBS
+  memory sampling (address, access cost, data source), allocation
+  interception, static-object scan, load/store multiplexing;
+* :mod:`repro.folding` — the Folding mechanism extended with the memory
+  perspective: folded counter curves, folded address scatter, folded
+  source-line track;
+* :mod:`repro.objects` — data-object identification and address
+  resolution, including the paper's manual allocation grouping;
+* :mod:`repro.analysis` — the §III analyses: phase segmentation, sweep
+  detection, bandwidth approximation, Figure-1 assembly;
+* substrates — :mod:`repro.simproc` (CPU + PEBS), :mod:`repro.memsim`
+  (cache hierarchy), :mod:`repro.vmem` (address space + allocator),
+  :mod:`repro.workloads` (HPCG and friends), :mod:`repro.parallel`
+  (rank sets);
+* :mod:`repro.pipeline` — the one-call user API.
+
+Quickstart::
+
+    from repro.pipeline import SessionConfig, run_workload, analyze_hpcg
+    from repro.workloads import HpcgConfig, HpcgWorkload
+
+    trace = run_workload(HpcgWorkload(HpcgConfig.paper(n_iterations=10)))
+    report, figure1 = analyze_hpcg(trace)
+    print(figure1.render())
+"""
+
+from repro.pipeline import Session, SessionConfig, analyze_hpcg, run_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Session",
+    "SessionConfig",
+    "__version__",
+    "analyze_hpcg",
+    "run_workload",
+]

@@ -1,0 +1,143 @@
+"""Comparing folded reports across runs, ranks or configurations.
+
+Once runs fold onto a common normalized axis, two executions become
+directly comparable point by point — the natural follow-up analysis
+(compare before/after an optimization, compare ranks of a job, compare
+machines).  This module aligns two folded reports and quantifies their
+differences per phase and per counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.phases import IterationPhases
+from repro.folding.report import FoldedReport
+from repro.util.tables import format_table
+
+__all__ = ["FoldedComparison", "compare_reports"]
+
+
+@dataclass(frozen=True)
+class PhaseDelta:
+    """One phase's differences between two runs."""
+
+    label: str
+    duration_a_ns: float
+    duration_b_ns: float
+    mips_a: float
+    mips_b: float
+
+    @property
+    def duration_ratio(self) -> float:
+        return self.duration_b_ns / self.duration_a_ns if self.duration_a_ns else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """>1 means run B finishes this phase faster."""
+        return self.duration_a_ns / self.duration_b_ns if self.duration_b_ns else 0.0
+
+
+@dataclass
+class FoldedComparison:
+    """Alignment of two folded reports."""
+
+    name_a: str
+    name_b: str
+    duration_a_ns: float
+    duration_b_ns: float
+    #: pointwise MIPS ratio B/A on the common σ grid
+    mips_ratio: np.ndarray
+    phase_deltas: list[PhaseDelta] = field(default_factory=list)
+
+    @property
+    def overall_speedup(self) -> float:
+        return self.duration_a_ns / self.duration_b_ns if self.duration_b_ns else 0.0
+
+    def max_divergence(self) -> float:
+        """Largest pointwise relative MIPS divergence."""
+        return float(np.abs(self.mips_ratio - 1.0).max()) if self.mips_ratio.size else 0.0
+
+    def to_table(self) -> str:
+        rows = [
+            (d.label, d.duration_a_ns / 1e6, d.duration_b_ns / 1e6,
+             d.speedup, d.mips_a, d.mips_b)
+            for d in self.phase_deltas
+        ]
+        text = format_table(
+            ["phase", f"{self.name_a} ms", f"{self.name_b} ms",
+             "speedup", f"{self.name_a} MIPS", f"{self.name_b} MIPS"],
+            rows, floatfmt=",.2f",
+            title=f"Folded comparison: {self.name_a} vs {self.name_b}",
+        )
+        text += (
+            f"\n\noverall iteration speedup ({self.name_b} vs {self.name_a}): "
+            f"{self.overall_speedup:.3f}x; "
+            f"max pointwise MIPS divergence: {self.max_divergence() * 100:.1f}%"
+        )
+        return text
+
+
+def compare_reports(
+    report_a: FoldedReport,
+    report_b: FoldedReport,
+    phases_a: IterationPhases | None = None,
+    phases_b: IterationPhases | None = None,
+    name_a: str = "A",
+    name_b: str = "B",
+) -> FoldedComparison:
+    """Align two folded reports on the σ axis and diff them.
+
+    The pointwise MIPS ratio compares the curves on the common σ grid
+    (a *shape* comparison).  The per-phase table matches phases **by
+    label** using each run's *own* segmentation — when a phase speeds
+    up, every later phase shifts in σ, so per-run windows are essential
+    for a fair per-phase diff.
+
+    Parameters
+    ----------
+    report_a, report_b:
+        The runs to compare (any workload, same instrumentation).
+    phases_a, phases_b:
+        Each run's phase windows; ``phases_b`` defaults to
+        ``phases_a`` (exact only when the phase layout is unchanged).
+        With both ``None`` only the pointwise comparison is produced.
+    """
+    ca, cb = report_a.counters, report_b.counters
+    grid = ca.sigma
+    mips_a = ca.mips()
+    mips_b = np.interp(grid, cb.sigma, cb.mips())
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(mips_a > 0, mips_b / mips_a, 1.0)
+
+    comparison = FoldedComparison(
+        name_a=name_a,
+        name_b=name_b,
+        duration_a_ns=report_a.instances.mean_duration_ns,
+        duration_b_ns=report_b.instances.mean_duration_ns,
+        mips_ratio=ratio,
+    )
+    if phases_b is None:
+        phases_b = phases_a
+    if phases_a is not None:
+        by_label_b = {p.label: p for p in phases_b}
+        for pa in phases_a:
+            pb = by_label_b.get(pa.label)
+            if pb is None:
+                continue
+            sel_a = (ca.sigma >= pa.lo) & (ca.sigma < pa.hi)
+            sel_b = (cb.sigma >= pb.lo) & (cb.sigma < pb.hi)
+            if not sel_a.any() or not sel_b.any():
+                continue
+            comparison.phase_deltas.append(
+                PhaseDelta(
+                    label=pa.label,
+                    duration_a_ns=pa.width * comparison.duration_a_ns,
+                    duration_b_ns=pb.width * comparison.duration_b_ns,
+                    mips_a=float(ca.mips()[sel_a].mean()),
+                    mips_b=float(cb.mips()[sel_b].mean()),
+                )
+            )
+    return comparison

@@ -1,0 +1,62 @@
+"""Whole-run and per-phase performance metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.phases import Phase
+from repro.folding.report import FoldedReport
+
+__all__ = ["RunMetrics", "run_metrics", "phase_metrics"]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Headline performance numbers of a folded region or phase."""
+
+    mips_mean: float
+    mips_max: float
+    ipc_mean: float
+    branches_per_instr: float
+    l1d_miss_per_instr: float
+    l2_miss_per_instr: float
+    l3_miss_per_instr: float
+    duration_ns: float
+
+    def ipc_at_frequency(self, frequency_hz: float) -> float:
+        """IPC implied by the mean MIPS at a nominal frequency — the
+        paper's '1500 MIPS representing an IPC of 0.6' conversion."""
+        return self.mips_mean * 1e6 / frequency_hz
+
+
+def _window_metrics(report: FoldedReport, lo: float, hi: float) -> RunMetrics:
+    c = report.counters
+    sel = (c.sigma >= lo) & (c.sigma <= hi)
+    if not sel.any():
+        raise ValueError(f"no folded grid points in [{lo}, {hi}]")
+    mips = c.mips()[sel]
+    ipc = c.ipc()[sel]
+
+    def rate(name: str) -> float:
+        return float(c.per_instruction(name)[sel].mean())
+
+    return RunMetrics(
+        mips_mean=float(mips.mean()),
+        mips_max=float(mips.max()),
+        ipc_mean=float(ipc.mean()),
+        branches_per_instr=rate("branches"),
+        l1d_miss_per_instr=rate("l1d_misses"),
+        l2_miss_per_instr=rate("l2_misses"),
+        l3_miss_per_instr=rate("l3_misses"),
+        duration_ns=c.window_duration_ns(lo, min(hi, 1.0)),
+    )
+
+
+def run_metrics(report: FoldedReport) -> RunMetrics:
+    """Metrics over the whole folded instance."""
+    return _window_metrics(report, 0.0, 1.0)
+
+
+def phase_metrics(report: FoldedReport, phase: Phase) -> RunMetrics:
+    """Metrics restricted to one phase's σ window."""
+    return _window_metrics(report, phase.lo, phase.hi)

@@ -1,0 +1,145 @@
+"""Roofline positioning of folded phases.
+
+The classic roofline model bounds a kernel's achievable flop rate by
+``min(peak_flops, arithmetic_intensity × peak_bandwidth)``.  With the
+folded counters carrying flops and DRAM traffic (demand lines plus
+write-backs), every phase of the folded iteration gets a point on the
+roofline — making the §III observation quantitative: HPCG's kernels sit
+deep in the memory-bound region, which is why the paper reports their
+behaviour in MB/s rather than GFLOP/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.phases import IterationPhases
+from repro.folding.report import FoldedReport
+from repro.util.tables import format_table
+
+__all__ = ["MachineRoof", "PhasePoint", "RooflineReport", "roofline"]
+
+
+@dataclass(frozen=True)
+class MachineRoof:
+    """The machine's roofline ceilings.
+
+    Defaults approximate the simulated Haswell-like core: 2.5 GHz × 16
+    DP flops/cycle (2×FMA on 4-wide AVX2) and a per-core share of the
+    socket's memory bandwidth.
+    """
+
+    peak_gflops: float = 40.0
+    peak_bandwidth_GBps: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.peak_gflops <= 0 or self.peak_bandwidth_GBps <= 0:
+            raise ValueError("roofline ceilings must be positive")
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Flops/byte at which the two ceilings meet."""
+        return self.peak_gflops / self.peak_bandwidth_GBps
+
+    def bound_gflops(self, intensity: float) -> float:
+        """Attainable GFLOP/s at a given arithmetic intensity."""
+        return min(self.peak_gflops, intensity * self.peak_bandwidth_GBps)
+
+
+@dataclass(frozen=True)
+class PhasePoint:
+    """One phase's position on the roofline."""
+
+    label: str
+    intensity: float  # flops per DRAM byte
+    gflops: float  # achieved
+    bandwidth_GBps: float  # achieved DRAM traffic rate
+    bound_gflops: float  # roofline ceiling at this intensity
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved / attainable at this intensity."""
+        return self.gflops / self.bound_gflops if self.bound_gflops else 0.0
+
+
+@dataclass
+class RooflineReport:
+    """Roofline points for every folded phase."""
+
+    roof: MachineRoof
+    points: list[PhasePoint] = field(default_factory=list)
+
+    def point(self, label: str) -> PhasePoint:
+        for p in self.points:
+            if p.label == label:
+                return p
+        raise KeyError(f"no phase {label!r}")
+
+    def to_table(self) -> str:
+        rows = [
+            (
+                p.label,
+                p.intensity,
+                p.gflops,
+                p.bandwidth_GBps,
+                p.bound_gflops,
+                p.efficiency * 100.0,
+                "memory" if p.intensity < self.roof.ridge_intensity else "compute",
+            )
+            for p in self.points
+        ]
+        text = format_table(
+            ["phase", "flops/byte", "GFLOP/s", "DRAM GB/s",
+             "roof GFLOP/s", "efficiency %", "bound"],
+            rows, floatfmt=",.3f",
+            title="Roofline positions of the folded phases",
+        )
+        text += (
+            f"\n\nridge point: {self.roof.ridge_intensity:.2f} flops/byte "
+            f"(peak {self.roof.peak_gflops:.0f} GFLOP/s, "
+            f"{self.roof.peak_bandwidth_GBps:.0f} GB/s)"
+        )
+        return text
+
+
+def roofline(
+    report: FoldedReport,
+    phases: IterationPhases,
+    roof: MachineRoof | None = None,
+    line_size: int = 64,
+) -> RooflineReport:
+    """Place every folded phase on the roofline.
+
+    Uses the folded flops and DRAM-traffic (lines + write-backs)
+    counters; a phase's arithmetic intensity is its flop total divided
+    by its total DRAM bytes moved.
+    """
+    roof = roof or MachineRoof()
+    c = report.counters
+    sigma = c.sigma
+    out = RooflineReport(roof=roof)
+    for p in phases:
+        sel = (sigma >= p.lo) & (sigma < p.hi)
+        if not sel.any():
+            continue
+        duration_s = c.window_duration_ns(p.lo, min(p.hi, 1.0)) * 1e-9
+        if duration_s <= 0:
+            continue
+        flop_rate = c["flops"].rate[sel].mean()  # per ns
+        dram_rate = (
+            c["dram_lines"].rate[sel].mean()
+            + c["dram_writebacks"].rate[sel].mean()
+        ) * line_size  # bytes per ns
+        gflops = flop_rate  # 1/ns == G/s
+        bandwidth = dram_rate  # GB/s
+        intensity = flop_rate / dram_rate if dram_rate > 0 else float("inf")
+        out.points.append(
+            PhasePoint(
+                label=p.label,
+                intensity=float(intensity),
+                gflops=float(gflops),
+                bandwidth_GBps=float(bandwidth),
+                bound_gflops=float(roof.bound_gflops(intensity)),
+            )
+        )
+    return out

@@ -1,0 +1,209 @@
+"""Address-sweep detection in the folded address view.
+
+Identifies the linear address ramps of Figure 1's middle panel and
+their direction: the forward sweep a1/d1 ("accesses the address space
+from lower to upper addresses"), the backward sweep a2/d2, and whether
+a structure is traversed completely.
+
+Detection is slope-based rather than trajectory-based: within each σ
+bin the direction is the sign of the local address-vs-σ correlation,
+which tolerates interleaved sub-arrays whose offsets stay below the
+bin's slope span.  Widely separated address bands (the heap/mmap split)
+drown the correlation in inter-band variance; split them first with
+:func:`split_address_bands` and detect per band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.folding.address import FoldedAddresses
+
+__all__ = ["Sweep", "detect_sweeps", "split_address_bands"]
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """One monotone address ramp (possibly several parallel arrays)."""
+
+    sigma_lo: float
+    sigma_hi: float
+    direction: int  # +1 forward (ascending addresses), -1 backward
+    addr_lo: int
+    addr_hi: int
+    n_samples: int
+
+    @property
+    def span_bytes(self) -> int:
+        return self.addr_hi - self.addr_lo
+
+    @property
+    def width(self) -> float:
+        return self.sigma_hi - self.sigma_lo
+
+    def covers(self, lo: int, hi: int, tolerance: float = 0.10) -> bool:
+        """Does this sweep traverse (essentially) all of ``[lo, hi)``?"""
+        return self.span_bytes >= (1.0 - tolerance) * (hi - lo)
+
+
+def detect_sweeps(
+    addresses: FoldedAddresses,
+    mask: np.ndarray | None = None,
+    sigma_lo: float = 0.0,
+    sigma_hi: float = 1.0,
+    bins: int = 32,
+    min_bin_samples: int = 8,
+    min_correlation: float = 0.25,
+) -> list[Sweep]:
+    """Segment the (σ, address) scatter into monotone ramps.
+
+    The σ window is split into *bins*; each bin's direction is the sign
+    of the local address-vs-σ regression slope (when the correlation is
+    strong enough); consecutive same-direction bins merge into sweeps.
+
+    Parameters
+    ----------
+    addresses:
+        The folded address view.
+    mask:
+        Restrict to these samples (e.g. one object's).
+    sigma_lo, sigma_hi:
+        Window to analyse (e.g. one phase).
+    min_correlation:
+        Bins whose |corr(σ, addr)| falls below this are treated as
+        directionless and attached to the surrounding sweep.
+    """
+    sel = (addresses.sigma >= sigma_lo) & (addresses.sigma < sigma_hi)
+    if mask is not None:
+        sel &= mask
+    sigma = addresses.sigma[sel]
+    addr = addresses.address[sel].astype(np.float64)
+    if sigma.size < 2 * min_bin_samples:
+        return []
+
+    edges = np.linspace(sigma_lo, sigma_hi, bins + 1)
+    which = np.clip(np.searchsorted(edges, sigma, side="right") - 1, 0, bins - 1)
+
+    directions = np.zeros(bins, dtype=np.int64)
+    counts = np.zeros(bins, dtype=np.int64)
+    lo_addr = np.zeros(bins, dtype=np.float64)
+    hi_addr = np.zeros(bins, dtype=np.float64)
+    for b in range(bins):
+        in_bin = which == b
+        n = int(in_bin.sum())
+        counts[b] = n
+        if n < min_bin_samples:
+            continue
+        s, a = sigma[in_bin], addr[in_bin]
+        lo_addr[b], hi_addr[b] = float(a.min()), float(a.max())
+        s_std, a_std = s.std(), a.std()
+        if s_std == 0 or a_std == 0:
+            continue
+        r = float(np.mean((s - s.mean()) * (a - a.mean())) / (s_std * a_std))
+        if abs(r) >= min_correlation:
+            directions[b] = 1 if r > 0 else -1
+
+    # Merge consecutive bins into same-direction sweeps; directionless
+    # (0) bins extend the current sweep.
+    sweeps: list[Sweep] = []
+    current: dict | None = None
+    for b in range(bins):
+        if counts[b] < min_bin_samples:
+            continue
+        d = int(directions[b])
+        if current is None:
+            current = _new_run(b, d, edges, lo_addr, hi_addr, counts)
+        elif d == 0 or d == current["dir"] or current["dir"] == 0:
+            if current["dir"] == 0 and d != 0:
+                current["dir"] = d
+            _extend_run(current, b, edges, lo_addr, hi_addr, counts)
+        else:
+            sweeps.append(_finish_run(current))
+            current = _new_run(b, d, edges, lo_addr, hi_addr, counts)
+    if current is not None:
+        sweeps.append(_finish_run(current))
+    return sweeps
+
+
+def _new_run(b, d, edges, lo_addr, hi_addr, counts) -> dict:
+    return {
+        "dir": d,
+        "sigma_lo": float(edges[b]),
+        "sigma_hi": float(edges[b + 1]),
+        "addr_lo": lo_addr[b],
+        "addr_hi": hi_addr[b],
+        "n": int(counts[b]),
+    }
+
+
+def _extend_run(run, b, edges, lo_addr, hi_addr, counts) -> None:
+    run["sigma_hi"] = float(edges[b + 1])
+    run["addr_lo"] = min(run["addr_lo"], lo_addr[b])
+    run["addr_hi"] = max(run["addr_hi"], hi_addr[b])
+    run["n"] += int(counts[b])
+
+
+def _finish_run(run) -> Sweep:
+    return Sweep(
+        sigma_lo=run["sigma_lo"],
+        sigma_hi=run["sigma_hi"],
+        direction=run["dir"],  # 0 = no direction established (flat)
+        addr_lo=int(run["addr_lo"]),
+        addr_hi=int(run["addr_hi"]),
+        n_samples=run["n"],
+    )
+
+
+def split_address_bands(
+    addresses: FoldedAddresses,
+    mask: np.ndarray | None = None,
+    gap_factor: float = 0.20,
+    max_bands: int = 8,
+) -> list[np.ndarray]:
+    """Split samples into contiguous address bands.
+
+    A process address space is sparse: the heap and the mmap region sit
+    orders of magnitude apart, and correlation-based sweep detection on
+    the raw mixture is dominated by the inter-band variance.  This
+    helper cuts the sorted unique addresses at every gap larger than
+    ``gap_factor`` × (largest band-internal span) and returns one
+    boolean sample mask per band, largest sample count first.
+    """
+    base = (
+        np.ones(addresses.n, dtype=bool) if mask is None else np.asarray(mask, bool)
+    )
+    addr = addresses.address[base]
+    if addr.size == 0:
+        return []
+    uniq = np.sort(np.unique(addr))
+    if uniq.size == 1:
+        return [base]
+    gaps = np.diff(uniq).astype(np.float64)
+    # Iteratively cut the largest gaps while they dwarf the bands.
+    order = np.argsort(gaps)[::-1]
+    cuts: list[int] = []
+    span = float(uniq[-1] - uniq[0])
+    for gi in order[: max_bands - 1]:
+        remaining = span - gaps[cuts].sum() if cuts else span
+        if gaps[gi] >= gap_factor * max(remaining, 1.0):
+            cuts.append(gi)
+        else:
+            break
+    if not cuts:
+        return [base]
+    boundaries = np.sort(uniq[np.asarray(cuts, dtype=np.int64)])
+    all_addr = addresses.address
+    bands: list[np.ndarray] = []
+    edges = [None] + [int(b) for b in boundaries] + [None]
+    for i in range(len(edges) - 1):
+        m = base.copy()
+        if edges[i] is not None:
+            m &= all_addr > edges[i]
+        if edges[i + 1] is not None:
+            m &= all_addr <= edges[i + 1]
+        if m.any():
+            bands.append(m)
+    bands.sort(key=lambda m: int(m.sum()), reverse=True)
+    return bands

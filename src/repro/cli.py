@@ -1,0 +1,213 @@
+"""Command-line entry points.
+
+Three tools mirroring the BSC workflow (monitor → fold → explore):
+
+* ``bsc-memtools-run`` — run a workload under the tracer, write a trace
+  file;
+* ``bsc-memtools-fold`` — fold a trace and export the three-panel data
+  (gnuplot-style .dat files) plus a text summary;
+* ``bsc-memtools-report`` — the full analysis: object resolution report
+  and, for HPCG traces, the Figure-1 reproduction tables.
+
+All commands are also reachable as ``python -m repro.cli <run|fold|report>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.figures import build_figure1
+from repro.extrae.trace import Trace
+from repro.extrae.tracer import TracerConfig
+from repro.folding.report import fold_trace
+from repro.objects.resolver import resolve_trace
+from repro.pipeline import SessionConfig, run_workload
+from repro.workloads import (
+    HpcgConfig,
+    HpcgWorkload,
+    RandomAccessWorkload,
+    StencilWorkload,
+    StreamWorkload,
+)
+from repro.workloads.randomaccess import RandomAccessConfig
+from repro.workloads.stencil import StencilConfig
+from repro.workloads.stream import StreamConfig
+
+__all__ = ["main", "main_fold", "main_report", "main_run"]
+
+
+def _build_workload(args):
+    if args.workload == "hpcg":
+        return HpcgWorkload(
+            HpcgConfig(
+                nx=args.nx, ny=args.nx, nz=args.nx,
+                nlevels=args.nlevels, n_iterations=args.iterations,
+            )
+        )
+    if args.workload == "stream":
+        return StreamWorkload(StreamConfig(n=args.nx**3, iterations=args.iterations))
+    if args.workload == "gups":
+        return RandomAccessWorkload(
+            RandomAccessConfig(iterations=args.iterations)
+        )
+    if args.workload == "stencil":
+        return StencilWorkload(
+            StencilConfig(nx=args.nx**2 if args.nx < 64 else args.nx,
+                          ny=args.nx**2 if args.nx < 64 else args.nx,
+                          iterations=args.iterations)
+        )
+    raise SystemExit(f"unknown workload {args.workload!r}")
+
+
+def main_run(argv: list[str] | None = None) -> int:
+    """``bsc-memtools-run``: trace a workload."""
+    p = argparse.ArgumentParser(
+        prog="bsc-memtools-run", description="Run a workload under the tracer."
+    )
+    p.add_argument("--workload", choices=["hpcg", "stream", "gups", "stencil"],
+                   default="hpcg")
+    p.add_argument("--nx", type=int, default=24, help="problem dimension")
+    p.add_argument("--nlevels", type=int, default=3)
+    p.add_argument("--iterations", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", choices=["analytic", "precise"], default="analytic")
+    p.add_argument("--load-period", type=int, default=10_000)
+    p.add_argument("--store-period", type=int, default=10_000)
+    p.add_argument("--no-multiplex", action="store_true",
+                   help="assume load+store groups co-schedulable")
+    p.add_argument("-o", "--output", default="run.bsctrace")
+    args = p.parse_args(argv)
+
+    config = SessionConfig(
+        seed=args.seed,
+        engine=args.engine,
+        tracer=TracerConfig(
+            load_period=args.load_period,
+            store_period=args.store_period,
+            multiplex=not args.no_multiplex,
+        ),
+    )
+    trace = run_workload(_build_workload(args), config)
+    path = trace.save(args.output)
+    print(f"wrote {path} ({trace.n_samples} samples, "
+          f"{len(trace.events)} events, {len(trace.objects)} objects)")
+    return 0
+
+
+def main_fold(argv: list[str] | None = None) -> int:
+    """``bsc-memtools-fold``: fold a trace and export panel data."""
+    p = argparse.ArgumentParser(
+        prog="bsc-memtools-fold", description="Fold a trace into the 3-panel report."
+    )
+    p.add_argument("trace", help="trace file written by bsc-memtools-run")
+    p.add_argument("-o", "--output-dir", default="folded")
+    p.add_argument("--bandwidth", type=float, default=0.015,
+                   help="kernel smoothing width in normalized time")
+    p.add_argument("--grid", type=int, default=201)
+    p.add_argument("--align", nargs="*", metavar="REGION", default=None,
+                   help="piecewise-align instances on these regions' "
+                        "enter events (default regions when given empty)")
+    args = p.parse_args(argv)
+
+    align = None
+    if args.align is not None:
+        align = tuple(args.align) if args.align else (
+            "ComputeSYMGS_ref", "ComputeSPMV_ref", "ComputeMG_ref"
+        )
+    trace = Trace.load(args.trace)
+    report = fold_trace(trace, grid_points=args.grid,
+                        bandwidth=args.bandwidth, align_regions=align)
+    written = report.export_gnuplot(args.output_dir)
+    print(report.summary())
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def main_report(argv: list[str] | None = None) -> int:
+    """``bsc-memtools-report``: objects + (for HPCG) Figure-1 tables."""
+    p = argparse.ArgumentParser(
+        prog="bsc-memtools-report", description="Analyse a folded trace."
+    )
+    p.add_argument("trace")
+    p.add_argument("--export-dir", default=None,
+                   help="also write the figure panels here")
+    p.add_argument("--ascii", action="store_true",
+                   help="render the three-panel figure in the terminal")
+    p.add_argument("--streams", action="store_true",
+                   help="print the dominant data-stream table")
+    p.add_argument("--advise", action="store_true",
+                   help="print hybrid-memory placement advice")
+    p.add_argument("--overhead", action="store_true",
+                   help="print the monitoring-overhead model")
+    p.add_argument("--regions", action="store_true",
+                   help="print the per-code-region progression table")
+    p.add_argument("--roofline", action="store_true",
+                   help="print the roofline positions of the folded phases")
+    p.add_argument("--paraver", default=None, metavar="BASENAME",
+                   help="export the trace as Paraver .prv/.pcf/.row")
+    args = p.parse_args(argv)
+
+    trace = Trace.load(args.trace)
+    print(resolve_trace(trace).to_table())
+    print()
+    report = None
+    if trace.metadata.get("workload") == "hpcg":
+        report = fold_trace(trace)
+        figure = build_figure1(report)
+        print(figure.render())
+        if args.ascii:
+            from repro.folding.ascii_plot import render_figure
+
+            print()
+            print(render_figure(report, figure.phases))
+        if args.streams:
+            from repro.analysis.streams import identify_streams
+
+            print()
+            print(identify_streams(report, figure.phases).to_table())
+        if args.advise:
+            from repro.analysis.hybrid import advise_placement
+
+            print()
+            print(advise_placement(report).to_table())
+        if args.regions:
+            from repro.analysis.regions import region_progress
+
+            print()
+            print(region_progress(trace).to_table())
+        if args.roofline:
+            from repro.analysis.roofline import roofline
+
+            print()
+            print(roofline(report, figure.phases).to_table())
+        if args.export_dir:
+            for path in figure.export(args.export_dir):
+                print(f"wrote {path}")
+    if args.overhead:
+        from repro.extrae.overhead import estimate_overhead
+
+        print()
+        print(estimate_overhead(trace).to_table())
+    if args.paraver:
+        from repro.extrae.paraver import export_paraver
+
+        for path in export_paraver(trace, args.paraver):
+            print(f"wrote {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Dispatcher for ``python -m repro.cli``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] not in ("run", "fold", "report"):
+        print("usage: python -m repro.cli {run,fold,report} [options]",
+              file=sys.stderr)
+        return 2
+    command, rest = argv[0], argv[1:]
+    return {"run": main_run, "fold": main_fold, "report": main_report}[command](rest)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

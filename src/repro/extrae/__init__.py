@@ -1,0 +1,45 @@
+"""The monitoring tool (≈ Extrae) of the reproduction.
+
+Mirrors the two §II extensions of the paper on the monitoring side:
+
+* **PEBS memory sampling** — the tracer drives a
+  :class:`~repro.simproc.machine.Machine` whose PEBS sampler captures
+  the referenced address, the access cost and the serving level of the
+  memory hierarchy for a subset of memory operations; each sample is
+  annotated with the current instrumented call-stack and cumulative
+  hardware counters.
+* **Data-object capture** — dynamic allocations are intercepted
+  (``malloc``/``realloc``/``new``/the run-allocation fast path) and
+  identified by their allocation call-stack; static objects come from
+  scanning the binary image.  Allocations below a size threshold are
+  *not* individually tracked — reproducing the paper's preliminary
+  observation — unless wrapped into a named group with
+  :meth:`~repro.extrae.tracer.Tracer.wrap_allocations`, the
+  instrumentation-based manual grouping of §III.
+
+Load and store sampling can be multiplexed in time
+(:class:`~repro.simproc.multiplex.MultiplexSchedule`) so one run — one
+ASLR layout — captures both.
+"""
+
+from repro.extrae.events import EventKind, TraceEvent
+from repro.extrae.memalloc import AllocationInterceptor, ObjectRecord
+from repro.extrae.overhead import OverheadModel, estimate_overhead
+from repro.extrae.paraver import export_paraver
+from repro.extrae.staticobj import scan_static_objects
+from repro.extrae.trace import Trace
+from repro.extrae.tracer import Tracer, TracerConfig
+
+__all__ = [
+    "AllocationInterceptor",
+    "EventKind",
+    "ObjectRecord",
+    "OverheadModel",
+    "Trace",
+    "TraceEvent",
+    "Tracer",
+    "TracerConfig",
+    "estimate_overhead",
+    "export_paraver",
+    "scan_static_objects",
+]

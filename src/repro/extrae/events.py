@@ -1,0 +1,59 @@
+"""Trace event records.
+
+Punctual events carry the instrumentation skeleton of a run: region
+enters/exits, iteration markers, allocation events and group wraps.
+The dense part of the trace (PEBS samples with counters) is stored
+separately as NumPy blocks — see :mod:`repro.extrae.trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any
+
+__all__ = ["EventKind", "TraceEvent"]
+
+
+class EventKind(IntEnum):
+    """Punctual event kinds; values are stable in serialized traces."""
+
+    REGION_ENTER = 1
+    REGION_EXIT = 2
+    #: start of a new instance of the folded region (e.g. a CG iteration)
+    ITERATION = 3
+    ALLOC = 4
+    FREE = 5
+    REALLOC = 6
+    #: a run of consecutive identical allocations (fast path)
+    ALLOC_RUN = 7
+    GROUP_BEGIN = 8
+    GROUP_END = 9
+    #: free-form phase marker
+    MARKER = 10
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One punctual event.
+
+    Attributes
+    ----------
+    time_ns:
+        Machine timestamp.
+    kind:
+        The event kind.
+    name:
+        Region/group/marker name, or the allocation site id.
+    payload:
+        Kind-specific details (addresses, sizes, call-stack ids, ...).
+    """
+
+    time_ns: float
+    kind: EventKind
+    name: str = ""
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.time_ns < 0:
+            raise ValueError(f"negative timestamp {self.time_ns}")

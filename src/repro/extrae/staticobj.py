@@ -1,0 +1,48 @@
+"""Static data-object discovery.
+
+Extrae *explores the binary for static data objects*: every symbol in
+the data sections becomes a data object identified by its given name
+(rather than by an allocation call-stack).  Here the binary is the
+simulated :class:`~repro.vmem.binimage.BinaryImage`, and the scan is a
+symbol-table walk.
+"""
+
+from __future__ import annotations
+
+from repro.extrae.memalloc import ObjectRecord
+from repro.vmem.binimage import BinaryImage
+
+__all__ = ["scan_static_objects"]
+
+
+def scan_static_objects(image: BinaryImage, min_size: int = 0) -> list[ObjectRecord]:
+    """Turn the binary's symbol table into static object records.
+
+    Parameters
+    ----------
+    image:
+        The binary image to scan.
+    min_size:
+        Skip symbols smaller than this (tiny globals rarely matter and
+        clutter the report).
+
+    Returns
+    -------
+    list[ObjectRecord]
+        One ``kind="static"`` record per retained symbol, in address
+        order.
+    """
+    records = []
+    for sym in image.symbols():
+        if sym.size < min_size:
+            continue
+        records.append(
+            ObjectRecord(
+                name=sym.name,
+                start=sym.address,
+                end=sym.end,
+                kind="static",
+                bytes_user=sym.size,
+            )
+        )
+    return records

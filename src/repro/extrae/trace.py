@@ -1,0 +1,308 @@
+"""Trace container and (de)serialization.
+
+A trace holds three kinds of data:
+
+* **punctual events** — region enters/exits, iteration markers,
+  allocation/group events (:class:`~repro.extrae.events.TraceEvent`);
+* **sample blocks** — PEBS records with interpolated counters, stored
+  as NumPy arrays and consolidated on demand into a columnar
+  :class:`SampleTable`;
+* **object records** — the data objects discovered by allocation
+  interception, wrapping and the static scan.
+
+Serialization uses ``.npz`` for the columnar samples plus a JSON
+sidecar for events/objects/metadata — no pickling, so traces are safe
+to exchange.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.extrae.events import EventKind, TraceEvent
+from repro.extrae.memalloc import ObjectRecord
+from repro.simproc.machine import SAMPLE_COUNTERS, SampleBlock
+from repro.vmem.callstack import CallStack, Frame
+
+__all__ = ["SampleTable", "Trace"]
+
+
+#: columnar sample schema: name -> dtype
+_SAMPLE_COLUMNS = {
+    "time_ns": np.float64,
+    "address": np.uint64,
+    "op": np.int8,
+    "source": np.int8,
+    "latency": np.float32,
+    "callstack_id": np.int32,
+    "label_id": np.int32,
+    **{name: np.float64 for name in SAMPLE_COUNTERS},
+}
+
+
+class SampleTable:
+    """Columnar view over all samples of a trace, time-sorted.
+
+    Columns are exposed as attributes (``table.address``,
+    ``table.latency``, ``table.instructions``, ...).
+    """
+
+    def __init__(self, columns: dict[str, np.ndarray]) -> None:
+        missing = set(_SAMPLE_COLUMNS) - set(columns)
+        if missing:
+            raise ValueError(f"sample table missing columns: {sorted(missing)}")
+        n = {c.size for c in columns.values()}
+        if len(n) > 1:
+            raise ValueError("sample columns have inconsistent lengths")
+        self._columns = columns
+
+    def __getattr__(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __len__(self) -> int:
+        return int(self._columns["time_ns"].size)
+
+    @property
+    def n(self) -> int:
+        return len(self)
+
+    def column(self, name: str) -> np.ndarray:
+        return self._columns[name]
+
+    def select(self, mask: np.ndarray) -> "SampleTable":
+        """Subset by boolean mask or index array."""
+        return SampleTable({k: v[mask] for k, v in self._columns.items()})
+
+    def columns(self) -> dict[str, np.ndarray]:
+        return dict(self._columns)
+
+    @classmethod
+    def empty(cls) -> "SampleTable":
+        return cls({k: np.empty(0, dtype=dt) for k, dt in _SAMPLE_COLUMNS.items()})
+
+
+@dataclass
+class Trace:
+    """One process's trace."""
+
+    metadata: dict = field(default_factory=dict)
+    events: list[TraceEvent] = field(default_factory=list)
+    objects: list[ObjectRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._callstacks: list[CallStack] = []
+        self._callstack_ids: dict[CallStack, int] = {}
+        self._labels: list[str] = []
+        self._label_ids: dict[str, int] = {}
+        self._blocks: list[tuple[SampleBlock, int]] = []  # (block, callstack id)
+        self._table: SampleTable | None = None
+
+    # -- intern tables ----------------------------------------------------
+    def callstack_id(self, stack: CallStack) -> int:
+        """Intern *stack*; returns its stable id."""
+        if stack not in self._callstack_ids:
+            self._callstack_ids[stack] = len(self._callstacks)
+            self._callstacks.append(stack)
+        return self._callstack_ids[stack]
+
+    def callstack(self, stack_id: int) -> CallStack:
+        return self._callstacks[stack_id]
+
+    def label_id(self, label: str) -> int:
+        if label not in self._label_ids:
+            self._label_ids[label] = len(self._labels)
+            self._labels.append(label)
+        return self._label_ids[label]
+
+    def label(self, label_id: int) -> str:
+        return self._labels[label_id]
+
+    @property
+    def labels(self) -> list[str]:
+        return list(self._labels)
+
+    # -- recording ----------------------------------------------------------
+    def add_event(self, event: TraceEvent) -> None:
+        if self.events and event.time_ns < self.events[-1].time_ns - 1e-6:
+            raise ValueError(
+                f"events must be appended in time order "
+                f"({event.time_ns} < {self.events[-1].time_ns})"
+            )
+        self.events.append(event)
+
+    def add_samples(self, block: SampleBlock, callstack: CallStack) -> None:
+        """Attach a sample block taken under *callstack*."""
+        self._blocks.append((block, self.callstack_id(callstack)))
+        self._table = None
+
+    def add_object(self, record: ObjectRecord) -> None:
+        self.objects.append(record)
+
+    # -- consolidated views ----------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        if not self._blocks and self._table is not None:
+            return len(self._table)
+        return sum(b.n for b, _ in self._blocks)
+
+    def sample_table(self) -> SampleTable:
+        """All samples as one time-sorted columnar table (cached)."""
+        if self._table is not None:
+            return self._table
+        if not self._blocks:
+            self._table = SampleTable.empty()
+            return self._table
+        cols: dict[str, list[np.ndarray]] = {k: [] for k in _SAMPLE_COLUMNS}
+        for block, cs_id in self._blocks:
+            n = block.n
+            cols["time_ns"].append(block.times_ns)
+            cols["address"].append(block.addresses)
+            cols["op"].append(np.full(n, int(block.op), dtype=np.int8))
+            cols["source"].append(block.sources.astype(np.int8))
+            cols["latency"].append(block.latencies.astype(np.float32))
+            cols["callstack_id"].append(np.full(n, cs_id, dtype=np.int32))
+            cols["label_id"].append(
+                np.full(n, self.label_id(block.label), dtype=np.int32)
+            )
+            for name in SAMPLE_COUNTERS:
+                cols[name].append(block.counters[name])
+        merged = {
+            k: np.concatenate(v).astype(_SAMPLE_COLUMNS[k]) for k, v in cols.items()
+        }
+        order = np.argsort(merged["time_ns"], kind="stable")
+        self._table = SampleTable({k: v[order] for k, v in merged.items()})
+        return self._table
+
+    # -- event queries ------------------------------------------------------------
+    def region_intervals(self, name: str) -> list[tuple[float, float]]:
+        """Matched ``[enter, exit)`` time intervals of region *name*.
+
+        Handles recursion by matching each exit with the most recent
+        unmatched enter of the same name.
+        """
+        stack: list[float] = []
+        out: list[tuple[float, float]] = []
+        for ev in self.events:
+            if ev.name != name:
+                continue
+            if ev.kind == EventKind.REGION_ENTER:
+                stack.append(ev.time_ns)
+            elif ev.kind == EventKind.REGION_EXIT:
+                if not stack:
+                    raise ValueError(f"unmatched exit of region {name!r} at {ev.time_ns}")
+                out.append((stack.pop(), ev.time_ns))
+        if stack:
+            raise ValueError(f"unmatched enter of region {name!r}")
+        out.sort()
+        return out
+
+    def iteration_times(self, name: str = "") -> list[float]:
+        """Timestamps of ITERATION markers (optionally filtered by name)."""
+        return [
+            ev.time_ns
+            for ev in self.events
+            if ev.kind == EventKind.ITERATION and (not name or ev.name == name)
+        ]
+
+    def duration_ns(self) -> float:
+        t = []
+        if self.events:
+            t.append(self.events[-1].time_ns)
+        if self.n_samples:
+            t.append(float(self.sample_table().time_ns.max()))
+        return max(t) if t else 0.0
+
+    # -- serialization ------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Write the trace as ``<path>`` (a zip holding npz + json)."""
+        path = Path(path)
+        table = self.sample_table()
+        sidecar = {
+            "metadata": self.metadata,
+            "labels": self._labels,
+            "callstacks": [
+                [[f.function, f.file, f.line] for f in cs.frames]
+                for cs in self._callstacks
+            ],
+            "events": [
+                {
+                    "time_ns": ev.time_ns,
+                    "kind": int(ev.kind),
+                    "name": ev.name,
+                    "payload": ev.payload,
+                }
+                for ev in self.events
+            ],
+            "objects": [
+                {
+                    "name": o.name,
+                    "start": o.start,
+                    "end": o.end,
+                    "kind": o.kind,
+                    "bytes_user": o.bytes_user,
+                    "n_allocations": o.n_allocations,
+                    "time_ns": o.time_ns,
+                    "site": (
+                        [[f.function, f.file, f.line] for f in o.site.frames]
+                        if o.site
+                        else None
+                    ),
+                }
+                for o in self.objects
+            ],
+        }
+        with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as zf:
+            with zf.open("samples.npz", "w") as f:
+                np.savez(f, **table.columns())
+            zf.writestr("trace.json", json.dumps(sidecar))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        """Read a trace written by :meth:`save`."""
+        path = Path(path)
+        with zipfile.ZipFile(path) as zf:
+            sidecar = json.loads(zf.read("trace.json"))
+            with zf.open("samples.npz") as f:
+                npz = np.load(f)
+                columns = {k: npz[k] for k in npz.files}
+        trace = cls(metadata=sidecar["metadata"])
+        for cs in sidecar["callstacks"]:
+            trace.callstack_id(CallStack(tuple(Frame(*f) for f in cs)))
+        for lbl in sidecar["labels"]:
+            trace.label_id(lbl)
+        for ev in sidecar["events"]:
+            trace.events.append(
+                TraceEvent(ev["time_ns"], EventKind(ev["kind"]), ev["name"], ev["payload"])
+            )
+        for o in sidecar["objects"]:
+            site = (
+                CallStack(tuple(Frame(*f) for f in o["site"])) if o["site"] else None
+            )
+            trace.objects.append(
+                ObjectRecord(
+                    name=o["name"],
+                    start=o["start"],
+                    end=o["end"],
+                    kind=o["kind"],
+                    bytes_user=o["bytes_user"],
+                    n_allocations=o["n_allocations"],
+                    site=site,
+                    time_ns=o["time_ns"],
+                )
+            )
+        trace._table = SampleTable(
+            {k: columns[k].astype(dt) for k, dt in _SAMPLE_COLUMNS.items()}
+        )
+        return trace
+
+    def __len__(self) -> int:
+        return self.n_samples

@@ -1,0 +1,239 @@
+"""The tracer: instrumentation API over the simulated machine.
+
+Workloads talk to the tracer exclusively:
+
+* :meth:`Tracer.region` brackets instrumented code regions (function
+  enter/exit) and maintains the call-stack that annotates samples;
+* :meth:`Tracer.iteration` marks the start of a new instance of the
+  periodic region — the boundaries the Folding mechanism folds over;
+* :meth:`Tracer.execute` runs a kernel batch on the machine and files
+  the resulting PEBS samples into the trace under the current stack;
+* :meth:`Tracer.wrap_allocations` is the §III manual grouping
+  instrumentation ("wrapping the first and last addresses of each group
+  of allocations");
+* :meth:`Tracer.finalize` scans the binary for static objects and
+  seals the trace.
+
+The tracer owns an :class:`~repro.extrae.memalloc.AllocationInterceptor`
+hooked into the workload's allocator, so plain ``allocator.malloc(...)``
+calls made by the workload are captured without further ceremony.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.extrae.events import EventKind, TraceEvent
+from repro.extrae.memalloc import AllocationInterceptor
+from repro.extrae.staticobj import scan_static_objects
+from repro.extrae.trace import Trace
+from repro.memsim.patterns import MemOp
+from repro.simproc.isa import KernelBatch
+from repro.simproc.machine import BatchExecution, Machine
+from repro.simproc.multiplex import MultiplexSchedule
+from repro.simproc.pebs import PebsConfig, PebsSampler
+from repro.vmem.allocator import Allocator
+from repro.vmem.binimage import BinaryImage
+from repro.vmem.callstack import CallStack, Frame
+
+__all__ = ["Tracer", "TracerConfig"]
+
+
+@dataclass(frozen=True)
+class TracerConfig:
+    """Monitoring configuration.
+
+    Parameters
+    ----------
+    alloc_threshold_bytes:
+        Minimum allocation size tracked as an individual object.
+    load_period / store_period:
+        PEBS sampling periods (operations per sample).
+    randomization:
+        PEBS period randomization factor.
+    latency_threshold_cycles:
+        Load-latency ``ldlat``-style threshold (0 = record all).
+    sample_stores:
+        Whether a store event group is programmed at all.
+    multiplex:
+        Rotate load/store groups in time (the paper's single-run mode);
+        with ``False`` and ``sample_stores`` both groups are presumed
+        co-schedulable and always active.
+    mpx_quantum_ns:
+        Multiplexing rotation quantum.
+    """
+
+    alloc_threshold_bytes: int = 1024
+    load_period: int = 10_000
+    store_period: int = 10_000
+    randomization: float = 0.10
+    latency_threshold_cycles: float = 0.0
+    sample_stores: bool = True
+    multiplex: bool = True
+    mpx_quantum_ns: float = 200_000.0
+
+    def build_pebs(self, rng) -> PebsSampler:
+        """PEBS sampler implied by this configuration."""
+        configs = {
+            MemOp.LOAD: PebsConfig(
+                self.load_period, self.randomization, self.latency_threshold_cycles
+            )
+        }
+        if self.sample_stores:
+            configs[MemOp.STORE] = PebsConfig(self.store_period, self.randomization)
+        return PebsSampler(configs, rng)
+
+    def build_multiplex(self) -> MultiplexSchedule:
+        """Multiplex schedule implied by this configuration."""
+        if self.sample_stores and self.multiplex:
+            return MultiplexSchedule.loads_and_stores(self.mpx_quantum_ns)
+        ops = {MemOp.LOAD} | ({MemOp.STORE} if self.sample_stores else set())
+        return MultiplexSchedule.single(ops)
+
+
+class Tracer:
+    """Instrumentation front-end binding machine, allocator and trace."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        allocator: Allocator,
+        image: BinaryImage | None = None,
+        config: TracerConfig | None = None,
+        root: Frame | None = None,
+    ) -> None:
+        self.machine = machine
+        self.allocator = allocator
+        self.image = image
+        self.config = config or TracerConfig()
+        self.trace = Trace()
+        self._stack = CallStack((root or Frame("main", "main.cpp", 0),))
+        self.interceptor = AllocationInterceptor(
+            allocator,
+            threshold_bytes=self.config.alloc_threshold_bytes,
+            clock=lambda: self.machine.time_ns,
+        )
+        self._finalized = False
+
+    # -- call-stack & regions ------------------------------------------------
+    @property
+    def current_stack(self) -> CallStack:
+        return self._stack
+
+    @contextmanager
+    def region(self, name: str, frame: Frame | None = None):
+        """Instrumented region: emits enter/exit events, pushes *frame*."""
+        self._check_open()
+        frame = frame or Frame(name, f"{name}.cpp", 0)
+        self.trace.add_event(
+            TraceEvent(
+                self.machine.time_ns,
+                EventKind.REGION_ENTER,
+                name,
+                {"file": frame.file, "line": frame.line},
+            )
+        )
+        self._stack = self._stack.push(frame)
+        try:
+            yield self
+        finally:
+            self._stack = self._stack.pop()
+            self.trace.add_event(
+                TraceEvent(self.machine.time_ns, EventKind.REGION_EXIT, name)
+            )
+
+    def iteration(self, name: str = "iteration") -> None:
+        """Mark the start of a new instance of the folded region."""
+        self._check_open()
+        self.trace.add_event(
+            TraceEvent(self.machine.time_ns, EventKind.ITERATION, name)
+        )
+
+    def marker(self, name: str, **payload) -> None:
+        """Free-form phase marker."""
+        self._check_open()
+        self.trace.add_event(
+            TraceEvent(self.machine.time_ns, EventKind.MARKER, name, payload)
+        )
+
+    # -- execution --------------------------------------------------------
+    def execute(self, batch: KernelBatch) -> BatchExecution:
+        """Run *batch* on the machine; file its samples under the
+        current call-stack (extended by the batch's source frame)."""
+        self._check_open()
+        execution = self.machine.execute(batch)
+        stack = self._stack
+        if batch.source is not None:
+            stack = stack.push(batch.source)
+        for block in execution.samples:
+            self.trace.add_samples(block, stack)
+        return execution
+
+    # -- allocation grouping ------------------------------------------------
+    @contextmanager
+    def wrap_allocations(self, name: str):
+        """Group every allocation made inside the block into one object.
+
+        The paper's manual instrumentation: the group object spans the
+        first to the last allocated address and is named like an
+        allocation site (e.g. ``124_GenerateProblem_ref.cpp``).
+        """
+        self._check_open()
+        self.trace.add_event(
+            TraceEvent(self.machine.time_ns, EventKind.GROUP_BEGIN, name)
+        )
+        self.interceptor.begin_group(name)
+        try:
+            yield self
+        finally:
+            record = self.interceptor.end_group()
+            payload = {}
+            if record is not None:
+                payload = {
+                    "start": record.start,
+                    "end": record.end,
+                    "bytes_user": record.bytes_user,
+                    "n_allocations": record.n_allocations,
+                }
+            self.trace.add_event(
+                TraceEvent(self.machine.time_ns, EventKind.GROUP_END, name, payload)
+            )
+
+    # -- finalization -----------------------------------------------------
+    def finalize(self) -> Trace:
+        """Seal the trace: static scan, object records, metadata."""
+        self._check_open()
+        if self.interceptor.group_open:
+            raise RuntimeError("cannot finalize with an open allocation group")
+        for record in self.interceptor.records:
+            self.trace.add_object(record)
+        if self.image is not None:
+            for record in scan_static_objects(self.image):
+                self.trace.add_object(record)
+        stats = self.interceptor.stats
+        self.trace.metadata.update(
+            {
+                "alloc_threshold_bytes": self.config.alloc_threshold_bytes,
+                "load_period": self.config.load_period,
+                "store_period": self.config.store_period,
+                "multiplex": self.config.multiplex,
+                "samples_emitted": self.machine.samples_emitted,
+                "samples_dropped_mpx": self.machine.samples_dropped_mpx,
+                "samples_dropped_latency": self.machine.samples_dropped_latency,
+                "allocs_tracked": stats.tracked,
+                "allocs_untracked": stats.untracked,
+                "allocs_grouped": stats.grouped,
+                "duration_ns": self.machine.time_ns,
+                "mpx_quantum_ns": self.config.mpx_quantum_ns,
+                "total_loads": self.machine.counters.loads,
+                "total_stores": self.machine.counters.stores,
+                "total_instructions": self.machine.counters.instructions,
+            }
+        )
+        self._finalized = True
+        return self.trace
+
+    def _check_open(self) -> None:
+        if self._finalized:
+            raise RuntimeError("tracer already finalized")

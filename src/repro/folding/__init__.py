@@ -1,0 +1,53 @@
+"""The Folding mechanism.
+
+Folding (Servat et al., ICPP 2011, extended by this paper) projects the
+sparse samples collected across *many instances* of a repetitive region
+onto a single normalized time axis, recovering detailed intra-region
+evolution from coarse-grained sampling:
+
+* :mod:`repro.folding.detect` — delimit the instances (iteration
+  markers or region occurrences), pruning outlier instances;
+* :mod:`repro.folding.fold` — project each sample to its instance-
+  relative normalized time σ ∈ [0, 1] and normalized cumulative
+  counter fractions;
+* :mod:`repro.folding.model` — fit smooth *monotone* cumulative curves
+  per hardware counter (Gaussian kernel regression + PAVA) and
+  differentiate them into instantaneous rates: MIPS, counter-per-
+  instruction, IPC;
+* :mod:`repro.folding.address` — the folded address-space view (this
+  paper's extension): sampled addresses vs σ with op, data source,
+  latency and resolved data object;
+* :mod:`repro.folding.lines` — the folded source-code view: the code
+  line executing at each σ;
+* :mod:`repro.folding.report` — the combined three-direction report
+  (source code × memory × performance), with gnuplot-style exports.
+"""
+
+from repro.folding.address import FoldedAddresses, fold_addresses
+from repro.folding.align import TimeWarp, build_warp
+from repro.folding.ascii_plot import render_figure
+from repro.folding.detect import FoldInstances, instances_from_iterations, instances_from_regions
+from repro.folding.fold import FoldedSamples, fold_samples
+from repro.folding.lines import FoldedLines, fold_lines
+from repro.folding.model import FoldedCounters, FoldedCurve, fold_counters
+from repro.folding.report import FoldedReport, fold_trace
+
+__all__ = [
+    "FoldInstances",
+    "TimeWarp",
+    "FoldedAddresses",
+    "FoldedCounters",
+    "FoldedCurve",
+    "FoldedLines",
+    "FoldedReport",
+    "FoldedSamples",
+    "fold_addresses",
+    "fold_counters",
+    "fold_lines",
+    "fold_samples",
+    "fold_trace",
+    "build_warp",
+    "render_figure",
+    "instances_from_iterations",
+    "instances_from_regions",
+]

@@ -1,0 +1,120 @@
+"""Piecewise (control-point) alignment for folding.
+
+Linear projection maps each instance's time range onto [0, 1] with one
+scale factor.  If an instance is perturbed *inside* one phase (an OS
+hiccup during the SPMV, say), everything after the perturbation shifts:
+phase boundaries stop lining up across instances and the folded curves
+smear even though the work per phase is identical.
+
+The fix — used by folding-style tools when instances vary internally —
+is a *piecewise* projection: choose control events that occur in every
+instance (here: the enter times of instrumented regions), map each
+instance's control times onto the average normalized control positions,
+and interpolate linearly between them.  Every instance's phases then
+land at the same σ regardless of where time was lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.extrae.events import EventKind
+from repro.extrae.trace import Trace
+from repro.folding.detect import FoldInstances
+
+__all__ = ["TimeWarp", "build_warp"]
+
+_DEFAULT_REGIONS = ("ComputeSYMGS_ref", "ComputeSPMV_ref", "ComputeMG_ref")
+
+
+@dataclass
+class TimeWarp:
+    """A per-instance piecewise-linear time → σ mapping.
+
+    ``breaks_t[i]`` are instance *i*'s control times (including its
+    start and end); ``breaks_sigma`` are the shared reference positions
+    every instance's controls map onto.
+    """
+
+    breaks_t: list[np.ndarray]
+    breaks_sigma: np.ndarray
+
+    def __post_init__(self) -> None:
+        k = self.breaks_sigma.size
+        if k < 2:
+            raise ValueError("a warp needs at least start and end controls")
+        for i, bt in enumerate(self.breaks_t):
+            if bt.size != k:
+                raise ValueError(
+                    f"instance {i} has {bt.size} controls, expected {k}"
+                )
+            if (np.diff(bt) < 0).any():
+                raise ValueError(f"instance {i} has unsorted control times")
+        if (np.diff(self.breaks_sigma) < 0).any():
+            raise ValueError("reference positions must be sorted")
+
+    @property
+    def n_instances(self) -> int:
+        return len(self.breaks_t)
+
+    def sigma(self, instance: int, times_ns: np.ndarray) -> np.ndarray:
+        """Map times of one instance onto the aligned σ axis."""
+        return np.interp(times_ns, self.breaks_t[instance], self.breaks_sigma)
+
+
+def build_warp(
+    trace: Trace,
+    instances: FoldInstances,
+    regions: tuple[str, ...] = _DEFAULT_REGIONS,
+) -> TimeWarp:
+    """Build a piecewise warp from region-enter control events.
+
+    Every instance must contain the same number of control events (the
+    iteration structure is identical by construction); a mismatch
+    raises, pointing at the offending instance.
+
+    Parameters
+    ----------
+    trace:
+        The trace whose region events provide the controls.
+    instances:
+        The fold instances (typically already outlier-pruned).
+    regions:
+        Region names whose ENTER events serve as control points.
+    """
+    region_set = set(regions)
+    enters = [
+        ev.time_ns
+        for ev in trace.events
+        if ev.kind == EventKind.REGION_ENTER and ev.name in region_set
+    ]
+    enters_arr = np.asarray(enters, dtype=np.float64)
+
+    controls: list[np.ndarray] = []
+    for i, (t0, t1) in enumerate(instances.intervals):
+        inside = enters_arr[(enters_arr >= t0) & (enters_arr < t1)]
+        controls.append(
+            np.concatenate([[t0], np.sort(inside), [t1]])
+        )
+    counts = {c.size for c in controls}
+    if len(counts) != 1:
+        detail = ", ".join(str(c.size - 2) for c in controls)
+        raise ValueError(
+            f"instances disagree on control-event counts ({detail}); "
+            f"choose regions that occur identically in every instance"
+        )
+
+    # Reference positions: the mean normalized position of each control.
+    norm = np.stack(
+        [
+            (c - t0) / (t1 - t0)
+            for c, (t0, t1) in zip(controls, instances.intervals)
+        ]
+    )
+    reference = norm.mean(axis=0)
+    reference[0], reference[-1] = 0.0, 1.0
+    # Guard against degenerate (coincident) controls.
+    reference = np.maximum.accumulate(reference)
+    return TimeWarp(breaks_t=controls, breaks_sigma=reference)

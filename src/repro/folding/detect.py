@@ -1,0 +1,102 @@
+"""Instance detection: which time intervals get folded together.
+
+The folded region's instances come either from explicit iteration
+markers (the instrumented CG loop) or from repeated occurrences of an
+instrumented region.  Instances whose duration deviates strongly from
+the median are pruned — perturbed instances (OS noise, first-touch
+effects) would smear the folded curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.extrae.trace import Trace
+
+__all__ = ["FoldInstances", "instances_from_iterations", "instances_from_regions"]
+
+
+@dataclass(frozen=True)
+class FoldInstances:
+    """The instances to fold: ``intervals[i] = (t0, t1)`` in ns."""
+
+    name: str
+    intervals: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.intervals:
+            raise ValueError(f"no instances to fold for {self.name!r}")
+        for t0, t1 in self.intervals:
+            if t1 <= t0:
+                raise ValueError(f"empty instance [{t0}, {t1})")
+        starts = [t0 for t0, _ in self.intervals]
+        if sorted(starts) != starts:
+            raise ValueError("instances must be sorted by start time")
+
+    @property
+    def n(self) -> int:
+        return len(self.intervals)
+
+    @property
+    def durations_ns(self) -> np.ndarray:
+        return np.array([t1 - t0 for t0, t1 in self.intervals])
+
+    @property
+    def mean_duration_ns(self) -> float:
+        return float(self.durations_ns.mean())
+
+    def prune_outliers(self, tolerance: float = 0.25) -> "FoldInstances":
+        """Drop instances whose duration deviates from the median by
+        more than *tolerance* (relative)."""
+        durations = self.durations_ns
+        median = float(np.median(durations))
+        keep = np.abs(durations - median) <= tolerance * median
+        if not keep.any():
+            raise ValueError("outlier pruning removed every instance")
+        kept = tuple(iv for iv, k in zip(self.intervals, keep) if k)
+        return FoldInstances(self.name, kept)
+
+
+def instances_from_iterations(
+    trace: Trace,
+    name: str = "",
+    end_marker: str = "execution_phase_end",
+) -> FoldInstances:
+    """Instances delimited by consecutive ITERATION markers.
+
+    The last instance ends at *end_marker* (if present) or at the
+    trace's end.
+    """
+    times = trace.iteration_times(name)
+    if len(times) < 1:
+        raise ValueError(f"trace has no iteration markers{f' named {name!r}' if name else ''}")
+    end = None
+    for ev in trace.events:
+        if ev.name == end_marker:
+            end = ev.time_ns
+            break
+    if end is None:
+        end = trace.duration_ns()
+    edges = times + [end]
+    intervals = tuple(
+        (t0, t1) for t0, t1 in zip(edges, edges[1:]) if t1 > t0
+    )
+    return FoldInstances(name or "iteration", intervals)
+
+
+def instances_from_regions(trace: Trace, region: str) -> FoldInstances:
+    """Instances = the occurrences of an instrumented region.
+
+    For recursive regions only the outermost occurrences are folded.
+    """
+    intervals = trace.region_intervals(region)
+    if not intervals:
+        raise ValueError(f"region {region!r} never occurs in the trace")
+    outer: list[tuple[float, float]] = []
+    for t0, t1 in sorted(intervals):
+        if outer and t0 < outer[-1][1]:
+            continue  # nested inside the previous outer occurrence
+        outer.append((t0, t1))
+    return FoldInstances(region, tuple(outer))

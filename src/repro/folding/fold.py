@@ -1,0 +1,120 @@
+"""Sample projection onto the normalized instance timeline.
+
+Every retained sample gets
+
+* ``sigma`` — its position inside its instance, normalized to [0, 1);
+* ``instance`` — which instance it came from;
+* one *normalized cumulative fraction* per counter — how much of the
+  instance's total count had accrued by the sample, in [0, 1].
+
+Counter values at instance boundaries are interpolated from the
+cumulative counter readings the samples carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.extrae.trace import SampleTable
+from repro.folding.detect import FoldInstances
+from repro.simproc.machine import SAMPLE_COUNTERS
+
+__all__ = ["FoldedSamples", "fold_samples"]
+
+
+@dataclass
+class FoldedSamples:
+    """Samples of all instances on the common normalized axis."""
+
+    instances: FoldInstances
+    #: subset of the trace's sample table that falls inside instances
+    table: SampleTable
+    sigma: np.ndarray
+    instance: np.ndarray
+    #: counter name -> per-sample cumulative fraction in [0, 1]
+    fractions: dict[str, np.ndarray] = field(default_factory=dict)
+    #: counter name -> per-instance total increment
+    totals: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return int(self.sigma.size)
+
+    def counter_total_mean(self, name: str) -> float:
+        """Mean per-instance increment of a counter."""
+        return float(self.totals[name].mean())
+
+    def select(self, mask: np.ndarray) -> "FoldedSamples":
+        return FoldedSamples(
+            instances=self.instances,
+            table=self.table.select(mask),
+            sigma=self.sigma[mask],
+            instance=self.instance[mask],
+            fractions={k: v[mask] for k, v in self.fractions.items()},
+            totals=self.totals,
+        )
+
+
+def fold_samples(
+    table: SampleTable,
+    instances: FoldInstances,
+    warp=None,
+) -> FoldedSamples:
+    """Project *table*'s samples onto the folded axis of *instances*.
+
+    Samples outside every instance (setup, finalization, pruned
+    instances) are dropped.
+
+    Parameters
+    ----------
+    warp:
+        Optional :class:`repro.folding.align.TimeWarp` replacing the
+        linear per-instance projection with a piecewise control-point
+        alignment.
+    """
+    t = table.time_ns
+    starts = np.array([iv[0] for iv in instances.intervals])
+    ends = np.array([iv[1] for iv in instances.intervals])
+
+    idx = np.searchsorted(starts, t, side="right") - 1
+    inside = (idx >= 0) & (t < ends[np.maximum(idx, 0)])
+    idx = idx[inside]
+    kept = table.select(inside)
+    tk = kept.time_ns
+    if warp is None:
+        sigma = (tk - starts[idx]) / (ends[idx] - starts[idx])
+    else:
+        if warp.n_instances != instances.n:
+            raise ValueError(
+                f"warp covers {warp.n_instances} instances, fold has {instances.n}"
+            )
+        sigma = np.empty(tk.shape, dtype=np.float64)
+        for i in range(instances.n):
+            sel = idx == i
+            if sel.any():
+                sigma[sel] = warp.sigma(i, tk[sel])
+
+    # Interpolate cumulative counters at instance boundaries from the
+    # full (unfiltered) sample stream, then normalize per instance.
+    fractions: dict[str, np.ndarray] = {}
+    totals: dict[str, np.ndarray] = {}
+    for name in SAMPLE_COUNTERS:
+        series = table.column(name)
+        c_start = np.interp(starts, t, series) if t.size else np.zeros_like(starts)
+        c_end = np.interp(ends, t, series) if t.size else np.zeros_like(ends)
+        total = np.maximum(c_end - c_start, 1e-12)
+        value = kept.column(name)
+        frac = (value - c_start[idx]) / total[idx]
+        fractions[name] = np.clip(frac, 0.0, 1.0)
+        totals[name] = c_end - c_start
+
+    return FoldedSamples(
+        instances=instances,
+        table=kept,
+        sigma=sigma,
+        instance=idx,
+        fractions=fractions,
+        totals=totals,
+    )

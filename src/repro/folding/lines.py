@@ -1,0 +1,119 @@
+"""The folded source-code view.
+
+Every sample carries the call-stack the tracer maintained when it was
+taken; its leaf frame names the source line executing at that moment.
+Folding those gives the top panel of Figure 1 — which code line runs at
+each normalized time — from which phases (A, B, C, D, E) are directly
+readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.extrae.trace import Trace
+from repro.folding.fold import FoldedSamples
+
+__all__ = ["FoldedLines", "fold_lines"]
+
+
+@dataclass
+class FoldedLines:
+    """Folded (σ, source line) points.
+
+    ``line_table[i]`` is a ``(function, file, line)`` triple;
+    ``line_id`` indexes into it.  ``region_id``/``region_table`` give
+    the coarser instrumented-region identity of each sample (the
+    label A/B/C/D/E annotations derive from these).
+    """
+
+    sigma: np.ndarray
+    line_id: np.ndarray
+    line_table: list[tuple[str, str, int]]
+    region_id: np.ndarray
+    region_table: list[str]
+
+    @property
+    def n(self) -> int:
+        return int(self.sigma.size)
+
+    def line_of(self, index: int) -> tuple[str, str, int]:
+        return self.line_table[int(self.line_id[index])]
+
+    def dominant_region(self, lo: float, hi: float) -> str:
+        """Most common region among samples with σ in [lo, hi)."""
+        mask = (self.sigma >= lo) & (self.sigma < hi)
+        if not mask.any():
+            raise ValueError(f"no samples in window [{lo}, {hi})")
+        ids, counts = np.unique(self.region_id[mask], return_counts=True)
+        return self.region_table[int(ids[np.argmax(counts)])]
+
+    def region_sequence(self, min_run: int = 5) -> list[str]:
+        """Regions in σ order, runs shorter than *min_run* samples
+        dropped, consecutive duplicates collapsed."""
+        order = np.argsort(self.sigma, kind="stable")
+        ids = self.region_id[order]
+        out: list[str] = []
+        run_id, run_len = None, 0
+        for i in ids:
+            if i == run_id:
+                run_len += 1
+            else:
+                if run_id is not None and run_len >= min_run:
+                    name = self.region_table[int(run_id)]
+                    if not out or out[-1] != name:
+                        out.append(name)
+                run_id, run_len = i, 1
+        if run_id is not None and run_len >= min_run:
+            name = self.region_table[int(run_id)]
+            if not out or out[-1] != name:
+                out.append(name)
+        return out
+
+
+def fold_lines(folded: FoldedSamples, trace: Trace) -> FoldedLines:
+    """Extract the folded source-line track from the samples.
+
+    The *region* of a sample is the innermost instrumented region
+    (second-to-leaf frame when the batch added a source-line leaf); the
+    *line* is the leaf frame itself.
+    """
+    table = folded.table
+    cs_ids = table.callstack_id
+    unique_ids = np.unique(cs_ids)
+
+    line_table: list[tuple[str, str, int]] = []
+    line_lookup: dict[tuple[str, str, int], int] = {}
+    region_table: list[str] = []
+    region_lookup: dict[str, int] = {}
+    per_cs_line = {}
+    per_cs_region = {}
+    for cs_id in unique_ids:
+        stack = trace.callstack(int(cs_id))
+        leaf = stack.leaf
+        key = (leaf.function, leaf.file, leaf.line)
+        if key not in line_lookup:
+            line_lookup[key] = len(line_table)
+            line_table.append(key)
+        per_cs_line[int(cs_id)] = line_lookup[key]
+        # Innermost *instrumented* frame: the leaf's function if depth
+        # 2, else the frame whose function the region was named after.
+        region = stack.frames[-2].function if stack.depth >= 2 else leaf.function
+        if leaf.function != region and leaf.function.startswith("Compute"):
+            region = leaf.function
+        if region not in region_lookup:
+            region_lookup[region] = len(region_table)
+            region_table.append(region)
+        per_cs_region[int(cs_id)] = region_lookup[region]
+
+    line_id = np.array([per_cs_line[int(i)] for i in cs_ids], dtype=np.int64)
+    region_id = np.array([per_cs_region[int(i)] for i in cs_ids], dtype=np.int64)
+    return FoldedLines(
+        sigma=folded.sigma,
+        line_id=line_id,
+        line_table=line_table,
+        region_id=region_id,
+        region_table=region_table,
+    )

@@ -1,0 +1,145 @@
+"""Folded counter curves: the performance direction of the report.
+
+For each hardware counter the folded samples give scattered points
+``(sigma, cumulative fraction)``.  The model fits a smooth monotone
+cumulative curve through them (Gaussian-kernel regression projected
+onto the monotone cone with PAVA — the role Kriging plays in the
+original tool) and differentiates it into an instantaneous *rate*.
+
+Rates are reported in physically meaningful units:
+
+* ``mips(σ)`` — millions of instructions per second of instance time;
+* ``per_instruction(counter)(σ)`` — e.g. L3 misses per instruction,
+  the bottom panel of the paper's Figure 1;
+* ``ipc(σ)`` — instructions per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.folding.fold import FoldedSamples
+from repro.simproc.machine import SAMPLE_COUNTERS
+from repro.util.pava import isotonic_fit
+
+__all__ = ["FoldedCounters", "FoldedCurve", "fold_counters"]
+
+
+@dataclass
+class FoldedCurve:
+    """One counter's folded evolution.
+
+    Attributes
+    ----------
+    sigma:
+        Normalized-time grid in [0, 1].
+    cumulative:
+        Monotone cumulative fraction fit, F(σ) ∈ [0, 1].
+    rate:
+        dF/dσ · (mean per-instance total) / (mean instance duration) —
+        the instantaneous counter rate per nanosecond of instance time.
+    total_mean:
+        Mean per-instance increment of the counter.
+    """
+
+    name: str
+    sigma: np.ndarray
+    cumulative: np.ndarray
+    rate: np.ndarray
+    total_mean: float
+
+    def at(self, sigma: float) -> float:
+        """Rate at normalized time *sigma* (linear interpolation)."""
+        return float(np.interp(sigma, self.sigma, self.rate))
+
+    def mean_rate(self, lo: float = 0.0, hi: float = 1.0) -> float:
+        """Average rate over a σ window."""
+        mask = (self.sigma >= lo) & (self.sigma <= hi)
+        if not mask.any():
+            raise ValueError(f"empty window [{lo}, {hi}]")
+        return float(self.rate[mask].mean())
+
+
+@dataclass
+class FoldedCounters:
+    """All folded counter curves of one region."""
+
+    curves: dict[str, FoldedCurve]
+    duration_ns: float  # mean instance duration
+
+    def __getitem__(self, name: str) -> FoldedCurve:
+        return self.curves[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.curves
+
+    @property
+    def sigma(self) -> np.ndarray:
+        return next(iter(self.curves.values())).sigma
+
+    def mips(self) -> np.ndarray:
+        """Instruction rate in MIPS along σ (rate is per ns)."""
+        return self.curves["instructions"].rate * 1e3
+
+    def per_instruction(self, name: str) -> np.ndarray:
+        """Counter rate per instruction along σ (Fig. 1 bottom panel)."""
+        instr = self.curves["instructions"].rate
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.where(instr > 0, self.curves[name].rate / instr, 0.0)
+        return out
+
+    def ipc(self) -> np.ndarray:
+        """Instructions per cycle along σ."""
+        cyc = self.curves["cycles"].rate
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(cyc > 0, self.curves["instructions"].rate / cyc, 0.0)
+
+    def window_duration_ns(self, lo: float, hi: float) -> float:
+        """Wall-clock length of a σ window in the mean instance."""
+        if not 0.0 <= lo < hi <= 1.0:
+            raise ValueError(f"bad window [{lo}, {hi}]")
+        return (hi - lo) * self.duration_ns
+
+
+def fold_counters(
+    folded: FoldedSamples,
+    grid_points: int = 201,
+    bandwidth: float = 0.015,
+    counters: tuple[str, ...] = SAMPLE_COUNTERS,
+) -> FoldedCounters:
+    """Fit the folded cumulative/rate curves of every counter.
+
+    Parameters
+    ----------
+    folded:
+        Projected samples (from :func:`repro.folding.fold.fold_samples`).
+    grid_points:
+        Evaluation grid resolution over [0, 1].
+    bandwidth:
+        Gaussian kernel width in σ units; the ablation bench
+        ``benchmarks/test_ablation_kernel.py`` sweeps this.
+    """
+    if folded.n == 0:
+        raise ValueError("cannot fold counters without samples")
+    grid = np.linspace(0.0, 1.0, grid_points)
+    duration = folded.instances.mean_duration_ns
+    curves: dict[str, FoldedCurve] = {}
+    for name in counters:
+        y = folded.fractions[name]
+        cumulative = isotonic_fit(folded.sigma, y, grid, bandwidth=bandwidth)
+        # Pin the cumulative ends: an instance starts at 0 and ends at 1
+        # by construction.
+        cumulative = np.clip(cumulative, 0.0, 1.0)
+        rate_sigma = np.gradient(cumulative, grid)
+        rate_sigma = np.maximum(rate_sigma, 0.0)
+        total = folded.counter_total_mean(name)
+        curves[name] = FoldedCurve(
+            name=name,
+            sigma=grid,
+            cumulative=cumulative,
+            rate=rate_sigma * total / duration,
+            total_mean=total,
+        )
+    return FoldedCounters(curves=curves, duration_ns=duration)

@@ -1,0 +1,175 @@
+"""The combined three-direction folded report.
+
+§II of the paper: "the tool provides a report where applications are
+explored in three orthogonal directions: source code, memory accesses
+and performance".  :func:`fold_trace` assembles all three from a trace
+in one call; :class:`FoldedReport` carries them plus export helpers
+that write gnuplot-style data files, as the original BSC Folding tool
+does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.extrae.trace import Trace
+from repro.folding.address import FoldedAddresses, fold_addresses
+from repro.folding.detect import FoldInstances, instances_from_iterations
+from repro.folding.fold import FoldedSamples, fold_samples
+from repro.folding.lines import FoldedLines, fold_lines
+from repro.folding.model import FoldedCounters, fold_counters
+from repro.memsim.datasource import DataSource
+from repro.objects.registry import DataObjectRegistry
+
+__all__ = ["FoldedReport", "fold_trace"]
+
+
+@dataclass
+class FoldedReport:
+    """Source code × memory accesses × performance, folded."""
+
+    trace: Trace
+    instances: FoldInstances
+    samples: FoldedSamples
+    counters: FoldedCounters
+    addresses: FoldedAddresses
+    lines: FoldedLines
+    registry: DataObjectRegistry
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Human-readable report header."""
+        meta = self.trace.metadata
+        parts = [
+            f"Folded report over {self.instances.n} instances "
+            f"of {self.instances.name!r}",
+            f"  mean instance duration: {self.instances.mean_duration_ns / 1e6:.3f} ms",
+            f"  samples folded: {self.samples.n}",
+            f"  data objects: {len(self.registry)} "
+            f"({self.addresses.matched_fraction() * 100:.1f}% of samples matched)",
+            f"  workload: {meta.get('workload', '?')}",
+        ]
+        return "\n".join(parts)
+
+    # ------------------------------------------------------------------
+    def export_gnuplot(self, directory: str | Path) -> list[Path]:
+        """Write the three panels as whitespace-separated data files.
+
+        * ``codeline.dat`` — σ, line-id, file, line
+        * ``addresses.dat`` — σ, address, op, source, latency, object
+        * ``counters.dat`` — σ, MIPS, IPC, per-instruction rates
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written = []
+
+        path = directory / "codeline.dat"
+        with path.open("w") as f:
+            f.write("# sigma line_id function file line\n")
+            for i in range(self.lines.n):
+                fn, file, line = self.lines.line_of(i)
+                f.write(
+                    f"{self.lines.sigma[i]:.6f} {int(self.lines.line_id[i])} "
+                    f"{fn} {file} {line}\n"
+                )
+        written.append(path)
+
+        path = directory / "addresses.dat"
+        with path.open("w") as f:
+            f.write("# sigma address op source latency object\n")
+            a = self.addresses
+            for i in range(a.n):
+                obj = (
+                    self.registry.records[int(a.object_index[i])].name
+                    if a.object_index[i] >= 0
+                    else "-"
+                )
+                f.write(
+                    f"{a.sigma[i]:.6f} {int(a.address[i]):#x} {int(a.op[i])} "
+                    f"{DataSource(int(a.source[i])).pretty} {a.latency[i]:.1f} {obj}\n"
+                )
+        written.append(path)
+
+        path = directory / "counters.dat"
+        c = self.counters
+        mips = c.mips()
+        ipc = c.ipc()
+        rates = {
+            name: c.per_instruction(name)
+            for name in ("branches", "l1d_misses", "l2_misses", "l3_misses")
+        }
+        with path.open("w") as f:
+            f.write("# sigma mips ipc " + " ".join(rates) + "\n")
+            for i, s in enumerate(c.sigma):
+                cols = " ".join(f"{rates[name][i]:.6f}" for name in rates)
+                f.write(f"{s:.6f} {mips[i]:.1f} {ipc[i]:.4f} {cols}\n")
+        written.append(path)
+
+        path = directory / "objects.dat"
+        with path.open("w") as f:
+            f.write("# name kind start end bytes_user\n")
+            for rec in self.registry.records:
+                f.write(
+                    f"{rec.name} {rec.kind} {rec.start:#x} {rec.end:#x} "
+                    f"{rec.bytes_user}\n"
+                )
+            for band in self.addresses.bands:
+                f.write(f"{band.label} band {band.lo:#x} {band.hi:#x} 0\n")
+        written.append(path)
+        return written
+
+
+def fold_trace(
+    trace: Trace,
+    instances: FoldInstances | None = None,
+    registry: DataObjectRegistry | None = None,
+    grid_points: int = 201,
+    bandwidth: float = 0.015,
+    prune_tolerance: float | None = 0.5,
+    align_regions: tuple[str, ...] | None = None,
+) -> FoldedReport:
+    """One-call folding of a trace into the three-direction report.
+
+    Parameters
+    ----------
+    trace:
+        A finalized trace with iteration markers (or pass explicit
+        *instances*).
+    instances:
+        Fold boundaries; default: consecutive iteration markers.
+    registry:
+        Data objects; default: the trace's own object records.
+    prune_tolerance:
+        Relative duration tolerance for instance pruning (None
+        disables pruning).
+    align_regions:
+        When given, project samples with a piecewise control-point
+        warp built from these regions' enter events
+        (:mod:`repro.folding.align`) instead of the linear per-instance
+        projection — robust against intra-instance perturbation.
+    """
+    if instances is None:
+        instances = instances_from_iterations(trace)
+    if prune_tolerance is not None and instances.n >= 3:
+        instances = instances.prune_outliers(prune_tolerance)
+    if registry is None:
+        registry = DataObjectRegistry(trace.objects)
+    warp = None
+    if align_regions is not None:
+        from repro.folding.align import build_warp
+
+        warp = build_warp(trace, instances, align_regions)
+    folded = fold_samples(trace.sample_table(), instances, warp=warp)
+    counters = fold_counters(folded, grid_points=grid_points, bandwidth=bandwidth)
+    addresses = fold_addresses(folded, registry)
+    lines = fold_lines(folded, trace)
+    return FoldedReport(
+        trace=trace,
+        instances=instances,
+        samples=folded,
+        counters=counters,
+        addresses=addresses,
+        lines=lines,
+        registry=registry,
+    )

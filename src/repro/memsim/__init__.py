@@ -1,0 +1,56 @@
+"""Memory-hierarchy simulation substrate.
+
+The paper's measurement chain obtains, for every PEBS sample, the level
+of the memory hierarchy that served the data and the access cost in
+cycles.  This package provides that information from simulation, at two
+fidelity levels:
+
+* :mod:`repro.memsim.cache` / :mod:`repro.memsim.hierarchy` — a precise
+  set-associative, LRU, inclusive multi-level cache simulator that
+  processes every address (used by tests and small workloads);
+* :mod:`repro.memsim.analytic` — a closed-form engine for pattern
+  batches in the streaming regime (structure footprint ≫ last-level
+  cache), used to run the paper's full 104³ HPCG problem.
+
+Access streams are described by :mod:`repro.memsim.patterns`; the
+hierarchy levels and their access costs by
+:mod:`repro.memsim.datasource`.
+"""
+
+from repro.memsim.analytic import AnalyticEngine
+from repro.memsim.cache import Cache, CacheConfig, CacheStats
+from repro.memsim.datasource import DataSource, LatencyModel
+from repro.memsim.hierarchy import CacheHierarchy, HierarchyConfig, PreciseEngine
+from repro.memsim.patterns import (
+    AccessPattern,
+    ExplicitPattern,
+    GatherPattern,
+    MemOp,
+    RandomPattern,
+    SequentialPattern,
+    StridedPattern,
+)
+from repro.memsim.prefetch import NextLinePrefetcher
+from repro.memsim.tlb import Tlb, TlbConfig
+
+__all__ = [
+    "AccessPattern",
+    "AnalyticEngine",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheStats",
+    "DataSource",
+    "ExplicitPattern",
+    "GatherPattern",
+    "HierarchyConfig",
+    "LatencyModel",
+    "MemOp",
+    "NextLinePrefetcher",
+    "PreciseEngine",
+    "RandomPattern",
+    "SequentialPattern",
+    "StridedPattern",
+    "Tlb",
+    "TlbConfig",
+]

@@ -1,0 +1,194 @@
+"""Single-level set-associative cache with true LRU replacement.
+
+The precise engine stacks several of these into a hierarchy
+(:mod:`repro.memsim.hierarchy`).  Each set is an ``OrderedDict`` whose
+insertion order *is* the recency order (first item = LRU victim), so
+every operation is a couple of C-speed dict operations — the property
+that makes per-access simulation of small-to-medium workloads
+tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.util.bitops import ilog2, is_pow2
+
+__all__ = ["Cache", "CacheConfig", "CacheStats"]
+
+# per-line flag indices in the set dictionaries
+_PF = 0
+_DIRTY = 1
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level.
+
+    Parameters
+    ----------
+    name:
+        Level name used in reports (``"L1D"``, ``"L2"``, ...).
+    size_bytes:
+        Total capacity; must be ``line_size * associativity * n_sets``
+        with power-of-two sets.
+    line_size:
+        Cache-line size in bytes (power of two).
+    associativity:
+        Ways per set.
+    """
+
+    name: str
+    size_bytes: int
+    line_size: int = 64
+    associativity: int = 8
+
+    def __post_init__(self) -> None:
+        if not is_pow2(self.line_size):
+            raise ValueError(f"line_size must be a power of two, got {self.line_size}")
+        if self.associativity <= 0:
+            raise ValueError("associativity must be positive")
+        if self.size_bytes % (self.line_size * self.associativity):
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} is not divisible by "
+                f"line_size*associativity"
+            )
+        n_sets = self.size_bytes // (self.line_size * self.associativity)
+        if not is_pow2(n_sets):
+            raise ValueError(f"{self.name}: number of sets ({n_sets}) must be a power of two")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.line_size * self.associativity)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    prefetch_fills: int = 0
+    prefetch_hits: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+        self.prefetch_fills = self.prefetch_hits = 0
+
+
+class Cache:
+    """One set-associative LRU cache level.
+
+    The cache stores *line numbers* (address >> log2(line_size)); tag =
+    line number (full-tag store, no aliasing).  ``lookup`` probes without
+    filling; ``fill`` inserts a line, returning the victim if any.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.stats = CacheStats()
+        self._set_shift = ilog2(config.line_size)
+        self._set_mask = config.n_sets - 1
+        self._assoc = config.associativity
+        # line -> [prefetched, dirty]; dict order = recency (first=LRU)
+        self._sets: list[OrderedDict[int, list]] = [
+            OrderedDict() for _ in range(config.n_sets)
+        ]
+        #: whether the victim of the most recent :meth:`fill` was dirty
+        self.last_victim_dirty = False
+
+    # -- geometry -----------------------------------------------------
+    def line_of(self, address: int) -> int:
+        """Line number containing byte *address*."""
+        return int(address) >> self._set_shift
+
+    def set_of_line(self, line: int) -> int:
+        return int(line) & self._set_mask
+
+    # -- operations ---------------------------------------------------
+    def access(self, line: int, *, count_stats: bool = True) -> bool:
+        """Probe *line*; on hit refresh LRU age and return ``True``.
+
+        Does **not** fill on miss — the hierarchy decides fill order.
+        """
+        d = self._sets[line & self._set_mask]
+        flags = d.get(line)
+        if flags is not None:
+            d.move_to_end(line)
+            if count_stats:
+                self.stats.hits += 1
+                if flags[_PF]:
+                    self.stats.prefetch_hits += 1
+                    flags[_PF] = False
+            return True
+        if count_stats:
+            self.stats.misses += 1
+        return False
+
+    def fill(self, line: int, *, from_prefetch: bool = False) -> int | None:
+        """Insert *line*, evicting the LRU way if the set is full.
+
+        Returns the evicted line number, or ``None``; whether that
+        victim was dirty is left in :attr:`last_victim_dirty`.  Filling
+        a line already present just refreshes its age.
+        """
+        d = self._sets[line & self._set_mask]
+        self.last_victim_dirty = False
+        if line in d:
+            d.move_to_end(line)
+            return None
+        victim = None
+        if len(d) >= self._assoc:
+            victim, victim_flags = d.popitem(last=False)
+            self.last_victim_dirty = bool(victim_flags[_DIRTY])
+            self.stats.evictions += 1
+        d[line] = [from_prefetch, False]
+        if from_prefetch:
+            self.stats.prefetch_fills += 1
+        return victim
+
+    def mark_dirty(self, line: int) -> bool:
+        """Mark a resident line dirty (a store hit); returns whether
+        the line was present.  Does not touch the LRU order."""
+        d = self._sets[line & self._set_mask]
+        flags = d.get(line)
+        if flags is not None:
+            flags[_DIRTY] = True
+            return True
+        return False
+
+    def invalidate(self, line: int) -> bool:
+        """Drop *line* if present; return whether it was present."""
+        d = self._sets[line & self._set_mask]
+        return d.pop(line, None) is not None
+
+    def contains(self, line: int) -> bool:
+        """Probe without touching LRU state or statistics."""
+        return line in self._sets[line & self._set_mask]
+
+    def resident_lines(self):
+        """All currently resident line numbers (unordered)."""
+        import numpy as np
+
+        out = [line for d in self._sets for line in d]
+        return np.asarray(out, dtype=np.uint64)
+
+    def dirty_lines(self) -> int:
+        """Number of currently dirty resident lines."""
+        return sum(flags[_DIRTY] for d in self._sets for flags in d.values())
+
+    def flush(self) -> None:
+        """Invalidate the whole cache (statistics are preserved)."""
+        for d in self._sets:
+            d.clear()
+        self.last_victim_dirty = False

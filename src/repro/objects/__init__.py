@@ -1,0 +1,26 @@
+"""Data-object model: registry, address resolution, grouping.
+
+The sampled information is only useful once addresses are matched back
+to the *data objects* of the application (§II of the paper): dynamic
+objects identified by allocation call-stack, static objects by symbol
+name, and — for applications like HPCG whose objects are built from
+many small allocations — wrapped *groups*.  This package turns the
+object records collected in a trace into an address-range registry
+(:mod:`repro.objects.registry`), resolves sample addresses against it
+in bulk (:mod:`repro.objects.resolver`), and provides grouping policies
+(:mod:`repro.objects.grouping`), including an automatic run-grouping
+extension beyond the paper's manual wrapping.
+"""
+
+from repro.objects.grouping import auto_group_runs, group_adjacent_records
+from repro.objects.registry import DataObjectRegistry
+from repro.objects.resolver import ObjectUsage, ResolutionReport, resolve_trace
+
+__all__ = [
+    "DataObjectRegistry",
+    "ObjectUsage",
+    "ResolutionReport",
+    "auto_group_runs",
+    "group_adjacent_records",
+    "resolve_trace",
+]

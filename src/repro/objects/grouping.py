@@ -1,0 +1,128 @@
+"""Allocation-grouping policies.
+
+The paper groups HPCG's sub-threshold allocations *manually*, by
+instrumenting the application to wrap the first and last addresses of
+each allocation loop (`Tracer.wrap_allocations`).  This module adds two
+tool-side policies that recover the same objects without touching the
+application:
+
+* :func:`auto_group_runs` — the allocator's run records (consecutive
+  identical allocations) become group objects when their aggregate size
+  is large enough, even though each member is below the tracking
+  threshold;
+* :func:`group_adjacent_records` — merge individually tracked dynamic
+  records from the same allocation site that sit (nearly) back-to-back
+  in the address space.
+
+Both emit ordinary :class:`~repro.extrae.memalloc.ObjectRecord` group
+entries, so downstream resolution is identical to manual wrapping.
+"""
+
+from __future__ import annotations
+
+from repro.extrae.memalloc import ObjectRecord
+from repro.vmem.allocator import Allocator
+
+__all__ = ["auto_group_runs", "group_adjacent_records"]
+
+
+def auto_group_runs(
+    allocator: Allocator, min_total_bytes: int = 1 << 20
+) -> list[ObjectRecord]:
+    """Synthesize group records from the allocator's allocation runs.
+
+    Consecutive runs from the *same* call site are merged into a single
+    group (HPCG allocates ``mtxIndG``/``matrixValues``/``mtxIndL`` in
+    one loop, producing one interleaved region per site triple).
+
+    Parameters
+    ----------
+    allocator:
+        The allocator whose runs to inspect.
+    min_total_bytes:
+        Groups smaller than this (by user bytes) are dropped.
+    """
+    out: list[ObjectRecord] = []
+    for run in allocator.runs():
+        if run.total_user_bytes < min_total_bytes:
+            continue
+        name = run.site.site_id() if run.site else f"run@{run.base:#x}"
+        out.append(
+            ObjectRecord(
+                name=name,
+                start=run.base,
+                end=run.end,
+                kind="group",
+                bytes_user=run.total_user_bytes,
+                n_allocations=run.count,
+                site=run.site,
+            )
+        )
+    return _merge_same_site(out)
+
+
+def group_adjacent_records(
+    records: list[ObjectRecord], max_gap_bytes: int = 4096
+) -> list[ObjectRecord]:
+    """Merge same-site dynamic records separated by at most *max_gap_bytes*.
+
+    Non-dynamic records pass through unchanged.
+    """
+    dynamic = sorted(
+        (r for r in records if r.kind == "dynamic"), key=lambda r: r.start
+    )
+    passthrough = [r for r in records if r.kind != "dynamic"]
+    merged: list[ObjectRecord] = []
+    for rec in dynamic:
+        last = merged[-1] if merged else None
+        if (
+            last is not None
+            and last.site is not None
+            and rec.site is not None
+            and last.site.site_id() == rec.site.site_id()
+            and rec.start - last.end <= max_gap_bytes
+        ):
+            merged[-1] = ObjectRecord(
+                name=last.site.site_id(),
+                start=last.start,
+                end=max(last.end, rec.end),
+                kind="group",
+                bytes_user=last.bytes_user + rec.bytes_user,
+                n_allocations=last.n_allocations + rec.n_allocations,
+                site=last.site,
+                time_ns=last.time_ns,
+            )
+        else:
+            merged.append(rec)
+    return merged + passthrough
+
+
+def _merge_same_site(groups: list[ObjectRecord]) -> list[ObjectRecord]:
+    """Merge run groups that belong to one memory region.
+
+    Two cases: *overlapping* groups are always merged — interleaved
+    per-row runs (HPCG's indL/values/indG) share one region even though
+    their call sites differ; *adjacent* groups (small gap) merge only
+    when they come from the same site (back-to-back runs of one loop).
+    """
+    groups = sorted(groups, key=lambda r: r.start)
+    out: list[ObjectRecord] = []
+    for rec in groups:
+        last = out[-1] if out else None
+        if last is not None and (
+            rec.start < last.end
+            or (last.name == rec.name and rec.start <= last.end + 4096)
+        ):
+            out[-1] = ObjectRecord(
+                name=last.name,
+                start=last.start,
+                end=max(last.end, rec.end),
+                kind="group",
+                bytes_user=last.bytes_user + rec.bytes_user,
+                n_allocations=last.n_allocations + rec.n_allocations,
+                site=last.site,
+                time_ns=last.time_ns,
+            )
+        else:
+            out.append(rec)
+    return out

@@ -1,0 +1,79 @@
+"""Address-range registry of data objects.
+
+Built from the :class:`~repro.extrae.memalloc.ObjectRecord` entries of a
+trace; supports O(log n) scalar and vectorized bulk lookup of sampled
+addresses.  Overlapping records (e.g. a manual wrap that subsumes an
+individually tracked allocation) are resolved in favour of the earlier
+record; the losers are kept in :attr:`DataObjectRegistry.conflicts` so
+reports can surface them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.extrae.memalloc import ObjectRecord
+from repro.util.intervals import AddressRangeMap
+
+__all__ = ["DataObjectRegistry"]
+
+
+class DataObjectRegistry:
+    """Queryable set of data objects."""
+
+    def __init__(self, records: list[ObjectRecord] | None = None) -> None:
+        self._map = AddressRangeMap()
+        self._records: list[ObjectRecord] = []
+        self.conflicts: list[tuple[ObjectRecord, ObjectRecord]] = []
+        for record in records or []:
+            self.add(record)
+
+    def add(self, record: ObjectRecord) -> bool:
+        """Register *record*; returns False (and records the conflict)
+        if it overlaps an already-registered object."""
+        try:
+            self._map.add(record.start, record.end, len(self._records))
+        except ValueError:
+            winner = self.object_for(record.start) or self.object_for(record.end - 1)
+            self.conflicts.append((record, winner))
+            return False
+        self._records.append(record)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def records(self) -> list[ObjectRecord]:
+        return list(self._records)
+
+    def object_for(self, address: int) -> ObjectRecord | None:
+        """The object containing *address*, or None."""
+        iv = self._map.find(int(address))
+        return self._records[iv.payload] if iv is not None else None
+
+    def resolve_bulk(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorized lookup: record index per address, -1 for misses.
+
+        Indices refer to :attr:`records` order.
+        """
+        idx = self._map.find_bulk(addresses)
+        if len(self._map) == 0:
+            return idx
+        # Interval position -> record index (payload).
+        payload_by_pos = np.array([iv.payload for iv in self._map], dtype=np.int64)
+        return np.where(idx >= 0, payload_by_pos[np.maximum(idx, 0)], -1)
+
+    def by_kind(self, kind: str) -> list[ObjectRecord]:
+        return [r for r in self._records if r.kind == kind]
+
+    def total_bytes(self) -> int:
+        """Sum of user bytes over all registered objects."""
+        return sum(r.bytes_user for r in self._records)
+
+    def largest(self, n: int = 10) -> list[ObjectRecord]:
+        """The *n* largest objects by user bytes."""
+        return sorted(self._records, key=lambda r: r.bytes_user, reverse=True)[:n]

@@ -1,0 +1,119 @@
+"""High-level API: wire a full session and run workloads in one call.
+
+A *session* is the complete substrate stack — address space (with
+ASLR), allocator, binary image, memory engine, machine with PEBS and
+multiplexing, tracer — built from a single seed.  This is the entry
+point downstream users (and the examples, benchmarks and CLI) go
+through:
+
+>>> from repro.pipeline import SessionConfig, run_workload
+>>> from repro.workloads import HpcgConfig, HpcgWorkload
+>>> trace = run_workload(HpcgWorkload(HpcgConfig(nx=16, ny=16, nz=16,
+...     nlevels=2, n_iterations=3)), SessionConfig(seed=1))
+>>> trace.n_samples > 0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.analysis.figures import Figure1, build_figure1
+from repro.extrae.trace import Trace
+from repro.extrae.tracer import Tracer, TracerConfig
+from repro.folding.report import FoldedReport, fold_trace
+from repro.memsim.analytic import AnalyticEngine
+from repro.memsim.hierarchy import HierarchyConfig, PreciseEngine
+from repro.simproc.calibration import MachineCalibration
+from repro.simproc.machine import Machine
+from repro.simproc.noise import NoiseModel
+from repro.util.rng import RngStreams
+from repro.vmem.allocator import Allocator
+from repro.vmem.binimage import BinaryImage
+from repro.vmem.layout import AddressSpace, AddressSpaceConfig
+from repro.workloads.base import Workload
+
+__all__ = ["Session", "SessionConfig", "analyze_hpcg", "run_workload"]
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything needed to build a reproducible session.
+
+    Parameters
+    ----------
+    seed:
+        Root seed: drives ASLR, PEBS randomization and latency jitter
+        through named substreams (two sessions with the same seed are
+        bit-identical).
+    engine:
+        ``"analytic"`` (closed-form, use for paper-scale problems) or
+        ``"precise"`` (per-access cache simulation, use for small
+        problems and validation).
+    """
+
+    seed: int = 0
+    engine: str = "analytic"
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    calibration: MachineCalibration = field(default_factory=MachineCalibration)
+    tracer: TracerConfig = field(default_factory=TracerConfig)
+    address_space: AddressSpaceConfig = field(default_factory=AddressSpaceConfig)
+    #: optional OS-noise injection (None = quiet machine)
+    noise: NoiseModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("analytic", "precise"):
+            raise ValueError(
+                f"engine must be 'analytic' or 'precise', got {self.engine!r}"
+            )
+
+    def with_seed(self, seed: int) -> "SessionConfig":
+        return replace(self, seed=seed)
+
+
+class Session:
+    """A fully wired substrate stack."""
+
+    def __init__(self, config: SessionConfig | None = None) -> None:
+        self.config = config or SessionConfig()
+        self.streams = RngStreams(self.config.seed)
+        self.space = AddressSpace(self.streams.get("aslr"), self.config.address_space)
+        self.allocator = Allocator(self.space)
+        self.image = BinaryImage(self.space)
+        if self.config.engine == "analytic":
+            engine = AnalyticEngine(
+                self.config.hierarchy, rng=self.streams.get("memsim")
+            )
+        else:
+            engine = PreciseEngine(self.config.hierarchy, rng=self.streams.get("memsim"))
+        self.machine = Machine(
+            engine=engine,
+            calibration=self.config.calibration,
+            pebs=self.config.tracer.build_pebs(self.streams.get("pebs")),
+            multiplex=self.config.tracer.build_multiplex(),
+            noise=self.config.noise,
+            noise_rng=self.streams.get("noise"),
+        )
+        self.tracer = Tracer(self.machine, self.allocator, self.image, self.config.tracer)
+        self.tracer.trace.metadata.update(
+            {"seed": self.config.seed, "engine": self.config.engine}
+        )
+
+    def run(self, workload: Workload) -> Trace:
+        """Trace *workload* (setup, run, finalize)."""
+        return workload.trace(self.tracer)
+
+
+def run_workload(workload: Workload, config: SessionConfig | None = None) -> Trace:
+    """One-shot: build a session and trace *workload*."""
+    return Session(config).run(workload)
+
+
+def analyze_hpcg(
+    trace: Trace,
+    bandwidth: float = 0.015,
+    grid_points: int = 201,
+) -> tuple[FoldedReport, Figure1]:
+    """Fold an HPCG trace and run the full §III analysis."""
+    report = fold_trace(trace, grid_points=grid_points, bandwidth=bandwidth)
+    return report, build_figure1(report)

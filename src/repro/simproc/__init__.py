@@ -1,0 +1,38 @@
+"""Simulated processor: counters, cost model, PEBS sampling, multiplexing.
+
+This package replaces the Intel Xeon hardware the paper measures on.  It
+executes :class:`~repro.simproc.isa.KernelBatch` descriptions (access
+patterns plus instruction/branch counts and a memory-level-parallelism
+factor), advancing a cycle clock through a calibrated in-order cost
+model, maintaining hardware-style counters, and producing precise
+event-based samples of memory operations through
+:class:`~repro.simproc.pebs.PebsSampler` — optionally multiplexing load
+and store event groups in time like the paper's single-run setup
+(:mod:`repro.simproc.multiplex`).
+
+Calibration constants (and the published numbers they target) live in
+:mod:`repro.simproc.calibration`.
+"""
+
+from repro.simproc.calibration import PAPER_TARGETS, MachineCalibration
+from repro.simproc.counters import CounterSet
+from repro.simproc.isa import KernelBatch
+from repro.simproc.machine import BatchExecution, Machine, SampleBlock
+from repro.simproc.multiplex import EventGroup, MultiplexSchedule
+from repro.simproc.noise import NoiseModel
+from repro.simproc.pebs import PebsConfig, PebsSampler
+
+__all__ = [
+    "BatchExecution",
+    "CounterSet",
+    "EventGroup",
+    "KernelBatch",
+    "Machine",
+    "MachineCalibration",
+    "MultiplexSchedule",
+    "NoiseModel",
+    "PAPER_TARGETS",
+    "PebsConfig",
+    "PebsSampler",
+    "SampleBlock",
+]

@@ -1,0 +1,79 @@
+"""Hardware-style performance counters.
+
+The folded report plots counter *rates per instruction* (branches, L1D,
+L2 and L3 misses) plus MIPS; the machine maintains the cumulative
+counters those rates derive from.  :class:`CounterSet` is a plain
+mutable accumulator; snapshots are cheap copies used to delimit regions
+and to attach interpolated counter readings to PEBS samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["CounterSet", "COUNTER_NAMES"]
+
+
+@dataclass
+class CounterSet:
+    """Cumulative event counts since machine reset.
+
+    All fields are monotonically non-decreasing over a run.
+    """
+
+    instructions: int = 0
+    cycles: float = 0.0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    l1d_misses: int = 0
+    l2_misses: int = 0
+    l3_misses: int = 0
+    dram_lines: int = 0
+    dram_writebacks: int = 0
+    tlb_misses: int = 0
+    flops: int = 0
+
+    def copy(self) -> "CounterSet":
+        return CounterSet(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def delta(self, earlier: "CounterSet") -> "CounterSet":
+        """Per-field difference ``self - earlier``."""
+        out = CounterSet()
+        for f in fields(self):
+            setattr(out, f.name, getattr(self, f.name) - getattr(earlier, f.name))
+        return out
+
+    def add(self, other: "CounterSet") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    # -- derived metrics -------------------------------------------------
+    @property
+    def memory_accesses(self) -> int:
+        return self.loads + self.stores
+
+    def ipc(self) -> float:
+        """Instructions per cycle (0 when no cycles elapsed)."""
+        return self.instructions / self.cycles if self.cycles > 0 else 0.0
+
+    def per_instruction(self, field_name: str) -> float:
+        """Counter rate per instruction, e.g. ``per_instruction("l3_misses")``."""
+        value = getattr(self, field_name)
+        return value / self.instructions if self.instructions > 0 else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def validate_monotone_since(self, earlier: "CounterSet") -> None:
+        """Raise if any counter decreased relative to *earlier*."""
+        for f in fields(self):
+            if getattr(self, f.name) < getattr(earlier, f.name):
+                raise ValueError(
+                    f"counter {f.name} decreased: "
+                    f"{getattr(earlier, f.name)} -> {getattr(self, f.name)}"
+                )
+
+
+#: Field names, in declaration order (stable trace-schema order).
+COUNTER_NAMES: tuple[str, ...] = tuple(f.name for f in fields(CounterSet))

@@ -1,0 +1,280 @@
+"""The simulated machine: executes kernel batches, advances the clock,
+maintains counters and emits PEBS samples.
+
+Cost model
+----------
+For a batch with ``I`` instructions and line-fetch counts ``f_L2``
+(lines brought into L1 from L2), ``f_L3`` (from L3) and ``f_DRAM``
+(from memory), the batch takes
+
+``cycles = max(I / issue_width,
+(f_L2·lat_L2 + f_L3·lat_L3 + f_DRAM·lat_DRAM + tlb·walk) / MLP)``
+
+— an in-order bound with a memory term whose overlap is the batch's
+memory-level parallelism.  For the streaming HPCG kernels the memory
+term dominates, which is what pins MIPS around the paper's 1500 and
+makes effective bandwidth scale with per-kernel MLP (see
+:mod:`repro.simproc.calibration`).
+
+Samples
+-------
+Each pattern's sampled offsets get concrete addresses from the pattern,
+sources/latencies from the memory engine, timestamps by interpolation
+across the batch interval, and cumulative counter readings interpolated
+from the batch's deltas (workloads emit several batches per kernel call,
+so interpolation spans are short).  The multiplex schedule then drops
+samples whose event group was not programmed at their timestamp, and the
+PEBS latency threshold filters cheap loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.memsim.datasource import DataSource
+from repro.memsim.hierarchy import PatternResult, PreciseEngine
+from repro.memsim.patterns import MemOp
+from repro.simproc.calibration import MachineCalibration
+from repro.simproc.counters import CounterSet
+from repro.simproc.isa import KernelBatch
+from repro.simproc.multiplex import MultiplexSchedule
+from repro.simproc.noise import NoiseModel
+from repro.simproc.pebs import PebsSampler
+
+__all__ = ["BatchExecution", "Machine", "SampleBlock"]
+
+#: Counter fields attached (interpolated) to every sample record.
+SAMPLE_COUNTERS = (
+    "instructions",
+    "cycles",
+    "branches",
+    "l1d_misses",
+    "l2_misses",
+    "l3_misses",
+    "flops",
+    "dram_lines",
+    "dram_writebacks",
+)
+
+
+@dataclass
+class SampleBlock:
+    """PEBS samples harvested from one pattern of one batch."""
+
+    op: MemOp
+    label: str
+    offsets: np.ndarray
+    addresses: np.ndarray
+    sources: np.ndarray
+    latencies: np.ndarray
+    times_ns: np.ndarray
+    counters: dict[str, np.ndarray]
+
+    @property
+    def n(self) -> int:
+        return int(self.offsets.size)
+
+    def select(self, mask: np.ndarray) -> "SampleBlock":
+        """A copy with only the samples where *mask* is true."""
+        return SampleBlock(
+            op=self.op,
+            label=self.label,
+            offsets=self.offsets[mask],
+            addresses=self.addresses[mask],
+            sources=self.sources[mask],
+            latencies=self.latencies[mask],
+            times_ns=self.times_ns[mask],
+            counters={k: v[mask] for k, v in self.counters.items()},
+        )
+
+
+@dataclass
+class BatchExecution:
+    """Everything that happened while executing one batch."""
+
+    batch: KernelBatch
+    t0_ns: float
+    t1_ns: float
+    cycles: float
+    core_cycles: float
+    mem_cycles: float
+    before: CounterSet
+    after: CounterSet
+    samples: list[SampleBlock] = field(default_factory=list)
+
+    @property
+    def duration_ns(self) -> float:
+        return self.t1_ns - self.t0_ns
+
+    @property
+    def mips(self) -> float:
+        """Achieved instruction rate over the batch, in MIPS."""
+        dur_s = self.duration_ns * 1e-9
+        return (self.batch.instructions / dur_s) / 1e6 if dur_s > 0 else 0.0
+
+
+class Machine:
+    """One simulated core.
+
+    Parameters
+    ----------
+    engine:
+        Memory engine (precise or analytic); defaults to a cold
+        Haswell-like precise hierarchy.
+    calibration:
+        Clock/pipeline constants.
+    pebs:
+        PEBS sampler, or ``None`` to run without sampling.
+    multiplex:
+        Event-group rotation; ``None`` keeps every sample.
+    """
+
+    def __init__(
+        self,
+        engine=None,
+        calibration: MachineCalibration | None = None,
+        pebs: PebsSampler | None = None,
+        multiplex: MultiplexSchedule | None = None,
+        noise: "NoiseModel | None" = None,
+        noise_rng=None,
+    ) -> None:
+        self.engine = engine if engine is not None else PreciseEngine()
+        self.calibration = calibration or MachineCalibration()
+        self.pebs = pebs
+        self.multiplex = multiplex
+        self.noise = noise
+        self._noise_rng = noise_rng or np.random.default_rng(0)
+        self.counters = CounterSet()
+        self.batches_executed = 0
+        self.samples_emitted = 0
+        self.samples_dropped_mpx = 0
+        self.samples_dropped_latency = 0
+        self.noise_ns_injected = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def time_ns(self) -> float:
+        """Wall-clock position of the machine."""
+        return self.calibration.cycles_to_ns(self.counters.cycles)
+
+    def execute(self, batch: KernelBatch) -> BatchExecution:
+        """Run *batch* to completion; returns its execution record."""
+        before = self.counters.copy()
+        latency = self.engine.config.latency
+
+        pattern_runs: list[tuple] = []
+        totals = {"L1D": 0, "L2": 0, "L3": 0}
+        dram_lines = 0
+        writebacks = 0
+        tlb_misses = 0
+        for pattern in batch.patterns:
+            offsets = (
+                self.pebs.take(pattern.op, pattern.count)
+                if self.pebs is not None
+                else np.empty(0, dtype=np.int64)
+            )
+            result: PatternResult = self.engine.run_pattern(pattern, offsets)
+            pattern_runs.append((pattern, offsets, result))
+            for name in totals:
+                totals[name] += result.level_misses.get(name, 0)
+            dram_lines += result.dram_lines
+            writebacks += result.writeback_lines
+            tlb_misses += result.tlb_misses
+
+        # --- cost model -------------------------------------------------
+        from_l2 = max(totals["L1D"] - totals["L2"], 0)
+        from_l3 = max(totals["L2"] - totals["L3"], 0)
+        from_dram = totals["L3"]
+        core_cycles = batch.instructions / self.calibration.issue_width
+        mem_cycles = (
+            from_l2 * latency.latency(DataSource.L2)
+            + from_l3 * latency.latency(DataSource.L3)
+            + from_dram * latency.latency(DataSource.DRAM)
+            + tlb_misses * self.calibration.tlb_walk_cycles
+        ) / batch.mlp
+        batch_cycles = max(core_cycles, mem_cycles)
+
+        # --- advance architectural state ---------------------------------
+        t0 = self.time_ns
+        c = self.counters
+        c.instructions += batch.instructions
+        c.cycles += batch_cycles
+        c.loads += batch.loads
+        c.stores += batch.stores
+        c.branches += batch.branches
+        c.l1d_misses += totals["L1D"]
+        c.l2_misses += totals["L2"]
+        c.l3_misses += totals["L3"]
+        c.dram_lines += dram_lines
+        c.dram_writebacks += writebacks
+        c.tlb_misses += tlb_misses
+        c.flops += batch.flops
+        t1 = self.time_ns
+        after = c.copy()
+        delta = after.delta(before)
+
+        execution = BatchExecution(
+            batch=batch,
+            t0_ns=t0,
+            t1_ns=t1,
+            cycles=batch_cycles,
+            core_cycles=core_cycles,
+            mem_cycles=mem_cycles,
+            before=before,
+            after=after,
+        )
+
+        # --- build, filter and attach sample blocks ----------------------
+        for pattern, offsets, result in pattern_runs:
+            if offsets.size == 0:
+                continue
+            frac = (offsets.astype(np.float64) + 0.5) / max(pattern.count, 1)
+            times = t0 + frac * (t1 - t0)
+            counters = {
+                name: getattr(before, name) + getattr(delta, name) * frac
+                for name in SAMPLE_COUNTERS
+            }
+            block = SampleBlock(
+                op=pattern.op,
+                label=batch.label,
+                offsets=offsets,
+                addresses=pattern.addresses_at(offsets),
+                sources=result.sample_sources,
+                latencies=result.sample_latencies,
+                times_ns=times,
+                counters=counters,
+            )
+            keep = np.ones(block.n, dtype=bool)
+            if self.multiplex is not None:
+                active = self.multiplex.active_mask(pattern.op, times)
+                self.samples_dropped_mpx += int((~active).sum())
+                keep &= active
+            if self.pebs is not None:
+                passed = self.pebs.latency_filter(pattern.op, block.latencies)
+                self.samples_dropped_latency += int((keep & ~passed).sum())
+                keep &= passed
+            block = block.select(keep)
+            if block.n:
+                execution.samples.append(block)
+                self.samples_emitted += block.n
+
+        if self.noise is not None:
+            stall = self.noise.stall_after(execution.duration_ns, self._noise_rng)
+            if stall > 0:
+                self.idle(stall)
+                self.noise_ns_injected += stall
+
+        self.batches_executed += 1
+        return execution
+
+    def run(self, batches) -> list[BatchExecution]:
+        """Execute a sequence of batches, in order."""
+        return [self.execute(b) for b in batches]
+
+    def idle(self, duration_ns: float) -> None:
+        """Advance the clock without retiring instructions (e.g. MPI wait)."""
+        if duration_ns < 0:
+            raise ValueError(f"cannot idle a negative duration: {duration_ns}")
+        self.counters.cycles += self.calibration.ns_to_cycles(duration_ns)

@@ -1,0 +1,67 @@
+"""OS-noise injection.
+
+Real runs are perturbed: timer interrupts, daemons, page faults and
+(on shared nodes) neighbour jobs stretch some iterations.  The original
+Folding tool prunes perturbed instances before projecting — a feature
+that only earns its keep if perturbations exist.  This module injects
+them: after each executed batch the machine may stall for a random
+duration, with an optional heavy "hiccup" mode that stretches whole
+iterations the way a core migration or a competing job does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NoiseModel"]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Stochastic stall injection.
+
+    Parameters
+    ----------
+    rate_per_second:
+        Mean number of noise events per simulated second (Poisson).
+    mean_duration_ns:
+        Mean stall length (exponential).
+    hiccup_probability:
+        Per-event probability that the stall is a heavy hiccup.
+    hiccup_duration_ns:
+        Mean length of a hiccup (exponential).
+    """
+
+    rate_per_second: float = 100.0
+    mean_duration_ns: float = 20_000.0
+    hiccup_probability: float = 0.0
+    hiccup_duration_ns: float = 50_000_000.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_second < 0 or self.mean_duration_ns < 0:
+            raise ValueError("noise rate/duration must be non-negative")
+        if not 0.0 <= self.hiccup_probability <= 1.0:
+            raise ValueError("hiccup probability must be in [0, 1]")
+        if self.hiccup_duration_ns < 0:
+            raise ValueError("hiccup duration must be non-negative")
+
+    def stall_after(self, elapsed_ns: float, rng: np.random.Generator) -> float:
+        """Total stall (ns) to inject after a batch of length *elapsed_ns*.
+
+        The number of events is Poisson in the elapsed interval; each
+        event's length is exponential (regular or hiccup).
+        """
+        if self.rate_per_second <= 0 or elapsed_ns <= 0:
+            return 0.0
+        n_events = rng.poisson(self.rate_per_second * elapsed_ns * 1e-9)
+        if n_events == 0:
+            return 0.0
+        total = 0.0
+        for _ in range(n_events):
+            if self.hiccup_probability > 0 and rng.random() < self.hiccup_probability:
+                total += float(rng.exponential(self.hiccup_duration_ns))
+            else:
+                total += float(rng.exponential(self.mean_duration_ns))
+        return total

@@ -1,0 +1,67 @@
+"""Bit and alignment arithmetic helpers.
+
+All functions operate on plain Python integers (arbitrary precision) so
+they are safe for 48-bit virtual addresses, and on NumPy integer arrays
+where noted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["align_down", "align_up", "ceil_div", "ilog2", "is_pow2"]
+
+
+def is_pow2(x: int) -> bool:
+    """Return ``True`` iff *x* is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def ilog2(x: int) -> int:
+    """Integer log2 of a positive power of two.
+
+    Raises
+    ------
+    ValueError
+        If *x* is not a positive power of two.
+    """
+    if not is_pow2(x):
+        raise ValueError(f"ilog2 requires a positive power of two, got {x!r}")
+    return x.bit_length() - 1
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division for non-negative *a* and positive *b*."""
+    if b <= 0:
+        raise ValueError(f"ceil_div divisor must be positive, got {b!r}")
+    if a < 0:
+        raise ValueError(f"ceil_div numerator must be non-negative, got {a!r}")
+    return -(-a // b)
+
+
+def align_up(x: int, alignment: int) -> int:
+    """Round *x* up to the next multiple of *alignment* (a power of two)."""
+    if not is_pow2(alignment):
+        raise ValueError(f"alignment must be a power of two, got {alignment!r}")
+    return (x + alignment - 1) & ~(alignment - 1)
+
+
+def align_down(x: int, alignment: int) -> int:
+    """Round *x* down to the previous multiple of *alignment* (a power of two)."""
+    if not is_pow2(alignment):
+        raise ValueError(f"alignment must be a power of two, got {alignment!r}")
+    return x & ~(alignment - 1)
+
+
+def line_index(addresses: np.ndarray, line_size: int) -> np.ndarray:
+    """Vectorized cache-line index of *addresses* for power-of-two *line_size*.
+
+    Parameters
+    ----------
+    addresses:
+        Array of unsigned integer addresses.
+    line_size:
+        Cache line size in bytes; must be a power of two.
+    """
+    shift = ilog2(line_size)
+    return np.asarray(addresses, dtype=np.uint64) >> np.uint64(shift)

@@ -1,0 +1,148 @@
+"""Address-range containers.
+
+:class:`AddressRangeMap` maps non-overlapping half-open ``[start, end)``
+integer intervals to arbitrary payloads, with O(log n) scalar lookup and
+vectorized bulk lookup over NumPy address arrays.  It is the backbone of
+the sampled-address → data-object resolver (:mod:`repro.objects.resolver`).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+
+__all__ = ["AddressRangeMap", "Interval"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A half-open interval ``[start, end)`` with an attached payload.
+
+    Ordering compares ``(start, end)`` only, so intervals sort by
+    position regardless of payload type.
+    """
+
+    start: int
+    end: int
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(
+                f"interval end must exceed start, got [{self.start}, {self.end})"
+            )
+
+    def __lt__(self, other: "Interval") -> bool:  # payloads may be uncomparable
+        return (self.start, self.end) < (other.start, other.end)
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def contains(self, address: int) -> bool:
+        return self.start <= address < self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+class AddressRangeMap:
+    """Sorted map of non-overlapping intervals to payloads.
+
+    Insertion is amortized O(n) worst case (list insert) but the usual
+    usage pattern is build-then-query; :meth:`freeze` converts the
+    interval bounds into NumPy arrays for vectorized lookup.
+    """
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._intervals: list[Interval] = []
+        self._frozen_starts: np.ndarray | None = None
+        self._frozen_ends: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def add(self, start: int, end: int, payload: Any = None) -> Interval:
+        """Insert ``[start, end) -> payload``.
+
+        Raises
+        ------
+        ValueError
+            If the new interval overlaps an existing one.
+        """
+        iv = Interval(int(start), int(end), payload)
+        i = bisect.bisect_left(self._starts, iv.start)
+        if i > 0 and self._intervals[i - 1].end > iv.start:
+            raise ValueError(f"{iv} overlaps {self._intervals[i - 1]}")
+        if i < len(self._intervals) and self._intervals[i].start < iv.end:
+            raise ValueError(f"{iv} overlaps {self._intervals[i]}")
+        self._starts.insert(i, iv.start)
+        self._intervals.insert(i, iv)
+        self._frozen_starts = None  # invalidate the vectorized index
+        self._frozen_ends = None
+        return iv
+
+    def remove(self, start: int) -> Interval:
+        """Remove and return the interval whose start is exactly *start*."""
+        i = bisect.bisect_left(self._starts, int(start))
+        if i >= len(self._starts) or self._starts[i] != int(start):
+            raise KeyError(f"no interval starts at {start:#x}")
+        self._starts.pop(i)
+        self._frozen_starts = None
+        self._frozen_ends = None
+        return self._intervals.pop(i)
+
+    def find(self, address: int) -> Interval | None:
+        """Return the interval containing *address*, or ``None``."""
+        i = bisect.bisect_right(self._starts, int(address)) - 1
+        if i < 0:
+            return None
+        iv = self._intervals[i]
+        return iv if iv.contains(int(address)) else None
+
+    def freeze(self) -> None:
+        """Build the NumPy index used by :meth:`find_bulk`."""
+        self._frozen_starts = np.asarray(self._starts, dtype=np.uint64)
+        self._frozen_ends = np.asarray(
+            [iv.end for iv in self._intervals], dtype=np.uint64
+        )
+
+    def find_bulk(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorized lookup: index of the containing interval, or -1.
+
+        Returns an ``int64`` array positionally parallel to *addresses*;
+        entries are indices into ``list(self)`` or ``-1`` for misses.
+        """
+        if self._frozen_starts is None:
+            self.freeze()
+        addr = np.asarray(addresses, dtype=np.uint64)
+        if len(self._intervals) == 0:
+            return np.full(addr.shape, -1, dtype=np.int64)
+        idx = np.searchsorted(self._frozen_starts, addr, side="right") - 1
+        hit = idx >= 0
+        # Check the end bound only where a candidate interval exists.
+        inside = np.zeros(addr.shape, dtype=bool)
+        inside[hit] = addr[hit] < self._frozen_ends[idx[hit]]
+        out = np.where(inside, idx, -1).astype(np.int64)
+        return out
+
+    def interval_at(self, index: int) -> Interval:
+        """Interval by position (as returned by :meth:`find_bulk`)."""
+        return self._intervals[index]
+
+    def coverage_bytes(self) -> int:
+        """Total number of bytes covered by all intervals."""
+        return sum(iv.size for iv in self._intervals)
+
+    def bounds(self) -> tuple[int, int] | None:
+        """``(lowest start, highest end)`` over all intervals, or ``None``."""
+        if not self._intervals:
+            return None
+        return self._intervals[0].start, max(iv.end for iv in self._intervals)

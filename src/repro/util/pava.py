@@ -1,0 +1,167 @@
+"""Isotonic regression (pool-adjacent-violators) for the Folding fits.
+
+The Folding mechanism reconstructs the *cumulative* evolution of each
+hardware counter over a normalized iteration from scattered samples.
+Cumulative counters are monotone by construction, so after kernel
+smoothing the curve is projected onto the monotone cone with PAVA — the
+same role Kriging-plus-monotonicity plays in the original BSC tool.
+
+The implementation is a standard O(n) stack-based weighted PAVA, written
+against NumPy arrays and verified in the tests against a brute-force
+quadratic-programming-free reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["isotonic_fit", "pava"]
+
+
+def pava(y: np.ndarray, weights: np.ndarray | None = None) -> np.ndarray:
+    """Weighted isotonic (non-decreasing) regression of *y*.
+
+    Solves ``min Σ w_i (f_i - y_i)^2  s.t.  f_0 <= f_1 <= ... <= f_{n-1}``
+    with the pool-adjacent-violators algorithm.
+
+    Parameters
+    ----------
+    y:
+        Observations, 1-D.
+    weights:
+        Positive weights, same shape as *y* (default: all ones).
+
+    Returns
+    -------
+    numpy.ndarray
+        The non-decreasing least-squares fit, same shape as *y*.
+    """
+    y = np.asarray(y, dtype=np.float64)
+    if y.ndim != 1:
+        raise ValueError(f"pava expects a 1-D array, got shape {y.shape}")
+    n = y.size
+    if n == 0:
+        return y.copy()
+    if weights is None:
+        w = np.ones(n, dtype=np.float64)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != y.shape:
+            raise ValueError("weights must match y in shape")
+        if (w <= 0).any():
+            raise ValueError("weights must be strictly positive")
+
+    # Stack of blocks: (mean, weight, count). Adjacent violating blocks
+    # are merged until means are non-decreasing.
+    means = np.empty(n, dtype=np.float64)
+    wsums = np.empty(n, dtype=np.float64)
+    counts = np.empty(n, dtype=np.int64)
+    top = 0
+    for i in range(n):
+        means[top] = y[i]
+        wsums[top] = w[i]
+        counts[top] = 1
+        top += 1
+        while top > 1 and means[top - 2] > means[top - 1]:
+            wtot = wsums[top - 2] + wsums[top - 1]
+            means[top - 2] = (
+                means[top - 2] * wsums[top - 2] + means[top - 1] * wsums[top - 1]
+            ) / wtot
+            wsums[top - 2] = wtot
+            counts[top - 2] += counts[top - 1]
+            top -= 1
+    return np.repeat(means[:top], counts[:top])
+
+
+def isotonic_fit(
+    x: np.ndarray,
+    y: np.ndarray,
+    x_eval: np.ndarray,
+    bandwidth: float = 0.02,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Smooth, monotone (non-decreasing) fit of scattered ``(x, y)`` data.
+
+    Two stages, mirroring the Folding counter model:
+
+    1. Nadaraya–Watson Gaussian-kernel regression of *y* onto the
+       evaluation grid *x_eval* with the given *bandwidth* (in x units).
+    2. PAVA projection onto the non-decreasing cone.
+
+    Grid points with no sample within ``4 * bandwidth`` get the kernel
+    estimate computed anyway (the Gaussian never truly vanishes), so the
+    result is always finite when at least one sample is present.
+
+    Parameters
+    ----------
+    x, y:
+        Sample coordinates; typically x is normalized time in [0, 1] and
+        y a cumulative counter fraction.
+    x_eval:
+        Sorted grid to evaluate the fit on.
+    bandwidth:
+        Gaussian kernel sigma, in units of x.
+    weights:
+        Optional positive per-sample weights.
+
+    Returns
+    -------
+    numpy.ndarray
+        Monotone fitted values on *x_eval*.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    xg = np.asarray(x_eval, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of equal length")
+    if x.size == 0:
+        raise ValueError("isotonic_fit needs at least one sample")
+    if bandwidth <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+    if weights is None:
+        w = np.ones_like(x)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != x.shape:
+            raise ValueError("weights must match x in shape")
+
+    # For large sample sets, pre-aggregate onto a fine binning first:
+    # the Nadaraya-Watson estimate only needs the local weighted sums
+    # Σ w·y and Σ w, which binning preserves up to the bin width.  The
+    # bin width is kept well below the kernel bandwidth so the change
+    # to the estimate is negligible while the cost drops from
+    # O(grid · samples) to O(grid · bins).
+    if x.size > 4096:
+        span_lo = min(float(x.min()), float(xg.min()))
+        span_hi = max(float(x.max()), float(xg.max()))
+        span = max(span_hi - span_lo, 1e-12)
+        nbins = int(min(max(8 * span / bandwidth, 256), 20_000))
+        edges = np.linspace(span_lo, span_hi, nbins + 1)
+        which = np.clip(np.searchsorted(edges, x, side="right") - 1, 0, nbins - 1)
+        wsum = np.bincount(which, weights=w, minlength=nbins)
+        wysum = np.bincount(which, weights=w * y, minlength=nbins)
+        occupied = wsum > 0
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        x = centers[occupied]
+        w = wsum[occupied]
+        y = wysum[occupied] / wsum[occupied]
+
+    # Kernel regression, chunked over the grid to bound peak memory at
+    # len(chunk) * len(x) doubles.
+    fit = np.empty(xg.shape, dtype=np.float64)
+    grid_weight = np.empty(xg.shape, dtype=np.float64)
+    chunk = max(1, int(4e6 // max(1, x.size)))
+    inv2s2 = 1.0 / (2.0 * bandwidth * bandwidth)
+    for lo in range(0, xg.size, chunk):
+        hi = min(lo + chunk, xg.size)
+        d = xg[lo:hi, None] - x[None, :]
+        k = np.exp(-(d * d) * inv2s2) * w[None, :]
+        ksum = k.sum(axis=1)
+        grid_weight[lo:hi] = ksum
+        with np.errstate(invalid="ignore", divide="ignore"):
+            fit[lo:hi] = np.where(ksum > 0, (k * y[None, :]).sum(axis=1) / ksum, 0.0)
+
+    # Weight grid points by the local kernel mass so sparsely supported
+    # regions do not drag the PAVA solution.
+    gw = np.maximum(grid_weight, 1e-12)
+    return pava(fit, gw)

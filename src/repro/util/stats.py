@@ -1,0 +1,193 @@
+"""Streaming statistics helpers.
+
+Provides Welford online mean/variance (:class:`OnlineStats`), fixed-bin
+histograms over possibly huge sample streams (:class:`Histogram`) and a
+weighted quantile routine used by the latency reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Histogram", "OnlineStats", "weighted_quantile"]
+
+
+class OnlineStats:
+    """Welford online accumulator for count/mean/variance/min/max.
+
+    Accepts scalars or NumPy arrays per :meth:`add` call; array input is
+    folded in exactly (using the parallel-variance merge formula), not by
+    a Python loop.
+    """
+
+    __slots__ = ("_n", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, values) -> None:
+        """Fold one scalar or an array of values into the accumulator."""
+        arr = np.atleast_1d(np.asarray(values, dtype=np.float64))
+        if arr.size == 0:
+            return
+        n_b = int(arr.size)
+        mean_b = float(arr.mean())
+        m2_b = float(((arr - mean_b) ** 2).sum())
+        if self._n == 0:
+            self._n, self._mean, self._m2 = n_b, mean_b, m2_b
+        else:
+            # Chan et al. parallel merge of (n, mean, M2) pairs.
+            n_a, mean_a, m2_a = self._n, self._mean, self._m2
+            n = n_a + n_b
+            delta = mean_b - mean_a
+            self._mean = mean_a + delta * n_b / n
+            self._m2 = m2_a + m2_b + delta * delta * n_a * n_b / n
+            self._n = n
+        self._min = min(self._min, float(arr.min()))
+        self._max = max(self._max, float(arr.max()))
+
+    def merge(self, other: "OnlineStats") -> None:
+        """Fold another accumulator into this one."""
+        if other._n == 0:
+            return
+        if self._n == 0:
+            self._n, self._mean, self._m2 = other._n, other._mean, other._m2
+            self._min, self._max = other._min, other._max
+            return
+        n_a, mean_a, m2_a = self._n, self._mean, self._m2
+        n_b, mean_b, m2_b = other._n, other._mean, other._m2
+        n = n_a + n_b
+        delta = mean_b - mean_a
+        self._mean = mean_a + delta * n_b / n
+        self._m2 = m2_a + m2_b + delta * delta * n_a * n_b / n
+        self._n = n
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self._n else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Population variance (ddof=0)."""
+        return self._m2 / self._n if self._n else math.nan
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance) if self._n else math.nan
+
+    @property
+    def min(self) -> float:
+        return self._min if self._n else math.nan
+
+    @property
+    def max(self) -> float:
+        return self._max if self._n else math.nan
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"OnlineStats(n={self._n}, mean={self.mean:.6g}, "
+            f"std={self.std:.6g}, min={self.min:.6g}, max={self.max:.6g})"
+        )
+
+
+@dataclass
+class Histogram:
+    """Fixed-bin histogram over ``[lo, hi)`` with overflow/underflow bins.
+
+    Parameters
+    ----------
+    lo, hi:
+        Range covered by the regular bins.
+    nbins:
+        Number of regular bins.
+    """
+
+    lo: float
+    hi: float
+    nbins: int
+    counts: np.ndarray = field(init=False)
+    underflow: int = field(init=False, default=0)
+    overflow: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if not (self.hi > self.lo):
+            raise ValueError(f"hi must exceed lo, got [{self.lo}, {self.hi})")
+        if self.nbins <= 0:
+            raise ValueError(f"nbins must be positive, got {self.nbins}")
+        self.counts = np.zeros(self.nbins, dtype=np.int64)
+
+    def add(self, values) -> None:
+        """Bin one scalar or an array of values."""
+        arr = np.atleast_1d(np.asarray(values, dtype=np.float64))
+        if arr.size == 0:
+            return
+        idx = np.floor((arr - self.lo) / (self.hi - self.lo) * self.nbins).astype(
+            np.int64
+        )
+        self.underflow += int((idx < 0).sum())
+        self.overflow += int((idx >= self.nbins).sum())
+        valid = idx[(idx >= 0) & (idx < self.nbins)]
+        np.add.at(self.counts, valid, 1)
+
+    @property
+    def total(self) -> int:
+        """All values ever added, including under/overflow."""
+        return int(self.counts.sum()) + self.underflow + self.overflow
+
+    def bin_edges(self) -> np.ndarray:
+        return np.linspace(self.lo, self.hi, self.nbins + 1)
+
+    def bin_centers(self) -> np.ndarray:
+        edges = self.bin_edges()
+        return 0.5 * (edges[:-1] + edges[1:])
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the binned counts (bin centers)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.counts.sum() == 0:
+            return math.nan
+        cum = np.cumsum(self.counts)
+        target = q * cum[-1]
+        i = int(np.searchsorted(cum, target))
+        i = min(i, self.nbins - 1)
+        return float(self.bin_centers()[i])
+
+
+def weighted_quantile(values, weights, q: float) -> float:
+    """Weighted quantile of *values* with non-negative *weights*.
+
+    Uses the inverse of the weighted empirical CDF; ``q`` in ``[0, 1]``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    v = np.asarray(values, dtype=np.float64)
+    w = np.asarray(weights, dtype=np.float64)
+    if v.shape != w.shape:
+        raise ValueError("values and weights must have identical shapes")
+    if v.size == 0:
+        return math.nan
+    if (w < 0).any():
+        raise ValueError("weights must be non-negative")
+    order = np.argsort(v, kind="stable")
+    v, w = v[order], w[order]
+    cw = np.cumsum(w)
+    if cw[-1] <= 0:
+        return math.nan
+    target = q * cw[-1]
+    i = int(np.searchsorted(cw, target))
+    i = min(i, v.size - 1)
+    return float(v[i])

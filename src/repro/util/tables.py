@@ -1,0 +1,74 @@
+"""Plain-text table rendering for reports and benchmark output.
+
+The benchmark harness prints the same rows the paper reports; this module
+renders them as aligned monospace tables (GitHub-flavored pipe syntax so
+the output pastes cleanly into EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_table"]
+
+
+def _render_cell(value: Any, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    floatfmt: str = ",.1f",
+    title: str | None = None,
+) -> str:
+    """Render *rows* under *headers* as a pipe table.
+
+    Numeric columns are right-aligned; floats use *floatfmt*.
+
+    Examples
+    --------
+    >>> print(format_table(["phase", "MB/s"], [("a1", 4197.0), ("B", 6427.0)]))
+    | phase |    MB/s |
+    |:------|--------:|
+    | a1    | 4,197.0 |
+    | B     | 6,427.0 |
+    """
+    rendered: list[list[str]] = [[str(h) for h in headers]]
+    numeric: list[bool] = [True] * len(headers)
+    body = list(rows)
+    for row in body:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        cells = []
+        for j, value in enumerate(row):
+            cells.append(_render_cell(value, floatfmt))
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                numeric[j] = False
+        rendered.append(cells)
+    widths = [max(len(r[j]) for r in rendered) for j in range(len(headers))]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        out = []
+        for j, cell in enumerate(cells):
+            out.append(cell.rjust(widths[j]) if numeric[j] else cell.ljust(widths[j]))
+        return "| " + " | ".join(out) + " |"
+
+    sep_cells = [
+        ("-" * (widths[j] + 1) + ":") if numeric[j] else (":" + "-" * (widths[j] + 1))
+        for j in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append(fmt_row(rendered[0]))
+    lines.append("|" + "|".join(sep_cells) + "|")
+    lines.extend(fmt_row(r) for r in rendered[1:])
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Virtual-memory substrate: address space, ASLR, allocator, binary image.
+
+The paper's tool matches sampled addresses against *data objects* that
+live in a process address space: dynamically allocated objects
+(identified by the call-stack of their ``malloc``/``new`` site) and
+static objects (identified by their symbol name in the binary).  The
+address space itself is randomized by ASLR on every run — the very
+reason the paper multiplexes load and store PEBS groups into a single
+run instead of running twice.
+
+This package simulates exactly that substrate:
+
+* :mod:`repro.vmem.layout` — a Linux-x86-64-like address-space layout
+  with per-run ASLR of the heap, mmap and stack bases;
+* :mod:`repro.vmem.allocator` — a glibc-flavoured heap allocator
+  (16-byte aligned chunks with headers, first-fit free list, mmap for
+  large requests) whose allocation events the tracer intercepts;
+* :mod:`repro.vmem.binimage` — the binary image with its static symbol
+  table (``.data``/``.bss``/``.rodata``);
+* :mod:`repro.vmem.callstack` — call-stack frames and the
+  ``<line>_<file>`` site naming used in the paper's Figure 1 legend.
+"""
+
+from repro.vmem.allocator import (
+    Allocation,
+    AllocationRun,
+    Allocator,
+    AllocatorError,
+    AllocatorStats,
+)
+from repro.vmem.binimage import BinaryImage, StaticSymbol
+from repro.vmem.callstack import CallStack, Frame
+from repro.vmem.layout import AddressSpace, AddressSpaceConfig
+
+__all__ = [
+    "AddressSpace",
+    "AddressSpaceConfig",
+    "Allocation",
+    "AllocationRun",
+    "Allocator",
+    "AllocatorError",
+    "AllocatorStats",
+    "BinaryImage",
+    "CallStack",
+    "Frame",
+    "StaticSymbol",
+]

@@ -1,0 +1,336 @@
+"""Heap allocator in the style of glibc malloc.
+
+Provides the dynamic-allocation behaviour the paper's instrumentation
+hooks into: ``malloc``/``calloc``/``realloc``/``free`` plus the C++
+``new`` path (which HPCG uses for its per-row matrix arrays).  Small
+requests are carved from the brk heap through a first-fit free list of
+16-byte-aligned chunks with an 8/16-byte header; requests at or above
+``mmap_threshold`` go to the mmap region — so consecutive small
+allocations are adjacent in the address space, which is exactly the
+property the paper exploits when *grouping* HPCG's many sub-threshold
+allocations into wrapped ranges.
+
+The allocator never touches real memory — it only does address
+bookkeeping — but it enforces the usual contracts (no overlap, no double
+free, realloc move semantics) and exposes every allocation event to
+observers (the Extrae allocation interceptor registers itself here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.util.bitops import align_up
+from repro.vmem.callstack import CallStack
+from repro.vmem.layout import AddressSpace
+
+__all__ = [
+    "Allocation",
+    "AllocationRun",
+    "Allocator",
+    "AllocatorError",
+    "AllocatorStats",
+]
+
+_ALIGN = 16
+_HEADER = 16
+
+
+class AllocatorError(RuntimeError):
+    """Invalid heap operation (double free, bad pointer, ...)."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One live (or historical) allocation."""
+
+    address: int
+    size: int
+    site: CallStack | None
+    via_mmap: bool
+    serial: int
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+
+@dataclass
+class AllocatorStats:
+    """Aggregate allocator counters."""
+
+    n_mallocs: int = 0
+    n_frees: int = 0
+    n_reallocs: int = 0
+    live_bytes: int = 0
+    peak_bytes: int = 0
+    mmap_allocs: int = 0
+
+    def _on_alloc(self, size: int, via_mmap: bool) -> None:
+        self.n_mallocs += 1
+        self.live_bytes += size
+        self.peak_bytes = max(self.peak_bytes, self.live_bytes)
+        if via_mmap:
+            self.mmap_allocs += 1
+
+    def _on_free(self, size: int) -> None:
+        self.n_frees += 1
+        self.live_bytes -= size
+
+
+@dataclass(frozen=True)
+class AllocationRun:
+    """A run of *count* consecutive identical allocations.
+
+    HPCG performs millions of small per-row ``new`` calls in a tight
+    loop; modeling each as an individual :class:`Allocation` would
+    dominate simulation time.  A run captures the whole loop in O(1):
+    chunk ``i`` lives at ``base + i * stride`` with *size* user bytes.
+    Run chunks cannot be individually freed (HPCG never frees them
+    during the benchmarked phase).
+    """
+
+    base: int
+    count: int
+    size: int
+    stride: int
+    site: CallStack | None
+    serial: int
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the last chunk."""
+        return self.base + (self.count - 1) * self.stride + self.size
+
+    @property
+    def total_user_bytes(self) -> int:
+        return self.count * self.size
+
+    def addresses(self) -> np.ndarray:
+        """User addresses of every chunk in the run."""
+        return (
+            np.uint64(self.base)
+            + np.arange(self.count, dtype=np.uint64) * np.uint64(self.stride)
+        )
+
+
+#: observer signature: (event, allocation-or-run, old_allocation_or_None)
+AllocObserver = Callable[[str, object, Allocation | None], None]
+
+
+class Allocator:
+    """First-fit heap allocator with an mmap path for large requests.
+
+    Parameters
+    ----------
+    space:
+        The address space to place chunks in.
+    mmap_threshold:
+        Requests of at least this size are mmap-backed (glibc default
+        128 KiB).
+    """
+
+    def __init__(self, space: AddressSpace, mmap_threshold: int = 128 * 1024) -> None:
+        self.space = space
+        self.mmap_threshold = int(mmap_threshold)
+        self.stats = AllocatorStats()
+        self._live: dict[int, Allocation] = {}
+        self._runs: list[AllocationRun] = []
+        self._free_list: list[tuple[int, int]] = []  # (address, usable size)
+        self._serial = 0
+        self._observers: list[AllocObserver] = []
+
+    # -- observer registration ------------------------------------------
+    def add_observer(self, observer: AllocObserver) -> None:
+        """Register a callback for ``alloc``/``free``/``realloc`` events."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: AllocObserver) -> None:
+        self._observers.remove(observer)
+
+    def _notify(self, event: str, alloc: Allocation, old: Allocation | None = None) -> None:
+        for obs in self._observers:
+            obs(event, alloc, old)
+
+    # -- allocation API ---------------------------------------------------
+    def malloc(self, size: int, site: CallStack | None = None) -> int:
+        """Allocate *size* bytes; returns the user address.
+
+        ``malloc(0)`` returns a unique minimal chunk, like glibc.
+        """
+        if size < 0:
+            raise AllocatorError(f"malloc of negative size {size}")
+        usable = align_up(max(int(size), 1), _ALIGN)
+        via_mmap = usable >= self.mmap_threshold
+        if via_mmap:
+            addr = self.space.mmap(usable + _HEADER) + _HEADER
+        else:
+            addr = self._carve(usable)
+        self._serial += 1
+        alloc = Allocation(addr, int(size) if size > 0 else 1, site, via_mmap, self._serial)
+        self._live[addr] = alloc
+        self.stats._on_alloc(alloc.size, via_mmap)
+        self._notify("alloc", alloc)
+        return addr
+
+    def malloc_run(
+        self, count: int, size: int, site: CallStack | None = None
+    ) -> AllocationRun:
+        """Allocate *count* consecutive chunks of *size* bytes each.
+
+        Semantically equivalent to *count* ``malloc(size)`` calls made
+        back-to-back on a quiescent heap (same addresses, same stride),
+        but O(1) in bookkeeping.  Only for sub-mmap-threshold sizes.
+        """
+        if count <= 0:
+            raise AllocatorError(f"malloc_run needs a positive count, got {count}")
+        if size <= 0:
+            raise AllocatorError(f"malloc_run needs a positive size, got {size}")
+        usable = align_up(int(size), _ALIGN)
+        if usable >= self.mmap_threshold:
+            raise AllocatorError(
+                f"malloc_run size {size} is at/above the mmap threshold "
+                f"({self.mmap_threshold}); mmap-backed chunks are not consecutive"
+            )
+        stride = usable + _HEADER
+        base = self.space.sbrk(stride * count) + _HEADER
+        self._serial += 1
+        run = AllocationRun(base, int(count), int(size), stride, site, self._serial)
+        self._runs.append(run)
+        self.stats.n_mallocs += count
+        self.stats.live_bytes += run.total_user_bytes
+        self.stats.peak_bytes = max(self.stats.peak_bytes, self.stats.live_bytes)
+        self._notify("alloc_run", run)
+        return run
+
+    def malloc_run_interleaved(
+        self, count: int, specs: list[tuple[int, CallStack | None]]
+    ) -> list[AllocationRun]:
+        """*count* loop iterations, each allocating one chunk per spec.
+
+        Models HPCG's per-row loop, which allocates ``mtxIndL``,
+        ``matrixValues`` and ``mtxIndG`` for row *i* before moving to
+        row *i+1*: the arrays interleave in memory with a combined row
+        stride.  Returns one :class:`AllocationRun` per spec; their
+        address ranges interleave (``runs[j]`` chunk *i* lives at
+        ``base_j + i * row_stride``).
+        """
+        if count <= 0:
+            raise AllocatorError(f"malloc_run_interleaved needs a positive count")
+        if not specs:
+            raise AllocatorError("malloc_run_interleaved needs at least one spec")
+        strides = []
+        for size, _ in specs:
+            if size <= 0:
+                raise AllocatorError(f"chunk size must be positive, got {size}")
+            usable = align_up(int(size), _ALIGN)
+            if usable >= self.mmap_threshold:
+                raise AllocatorError(
+                    f"interleaved chunk size {size} is at/above the mmap threshold"
+                )
+            strides.append(usable + _HEADER)
+        row_stride = sum(strides)
+        block = self.space.sbrk(row_stride * count)
+        runs: list[AllocationRun] = []
+        offset = 0
+        for (size, site), stride in zip(specs, strides):
+            self._serial += 1
+            run = AllocationRun(
+                block + offset + _HEADER, int(count), int(size), row_stride,
+                site, self._serial,
+            )
+            self._runs.append(run)
+            runs.append(run)
+            offset += stride
+            self.stats.n_mallocs += count
+            self.stats.live_bytes += run.total_user_bytes
+            self._notify("alloc_run", run)
+        self.stats.peak_bytes = max(self.stats.peak_bytes, self.stats.live_bytes)
+        return runs
+
+    def runs(self) -> list[AllocationRun]:
+        """All allocation runs, in allocation order."""
+        return list(self._runs)
+
+    def calloc(self, nmemb: int, size: int, site: CallStack | None = None) -> int:
+        """Zeroing array allocation (bookkeeping only)."""
+        if nmemb < 0 or size < 0:
+            raise AllocatorError("calloc of negative extent")
+        return self.malloc(nmemb * size, site)
+
+    def new(self, size: int, site: CallStack | None = None) -> int:
+        """C++ ``operator new`` — same machinery, kept distinct so the
+        tracer can label the interception point."""
+        return self.malloc(size, site)
+
+    def free(self, address: int) -> None:
+        """Release the allocation at *address*."""
+        alloc = self._live.pop(int(address), None)
+        if alloc is None:
+            raise AllocatorError(f"free of unallocated pointer {address:#x}")
+        if not alloc.via_mmap:
+            usable = align_up(max(alloc.size, 1), _ALIGN)
+            self._free_list.append((alloc.address, usable))
+        self.stats._on_free(alloc.size)
+        self._notify("free", alloc)
+
+    def realloc(self, address: int, new_size: int, site: CallStack | None = None) -> int:
+        """Resize, possibly moving: returns the (new) user address."""
+        if int(address) == 0:
+            return self.malloc(new_size, site)
+        old = self._live.get(int(address))
+        if old is None:
+            raise AllocatorError(f"realloc of unallocated pointer {address:#x}")
+        if new_size < 0:
+            raise AllocatorError(f"realloc to negative size {new_size}")
+        usable_old = align_up(max(old.size, 1), _ALIGN)
+        usable_new = align_up(max(int(new_size), 1), _ALIGN)
+        self.stats.n_reallocs += 1
+        if usable_new <= usable_old and not old.via_mmap:
+            # Shrink in place.
+            new = Allocation(old.address, max(int(new_size), 1), site or old.site,
+                             old.via_mmap, old.serial)
+            self._live[old.address] = new
+            self.stats.live_bytes += new.size - old.size
+            self._notify("realloc", new, old)
+            return new.address
+        # Move: allocate, then free the old chunk.
+        new_addr = self.malloc(new_size, site or old.site)
+        new = self._live[new_addr]
+        self.stats.n_mallocs -= 1  # counted as a realloc, not a fresh malloc
+        self.free(old.address)
+        self.stats.n_frees -= 1
+        self._notify("realloc", new, old)
+        return new_addr
+
+    # -- queries -----------------------------------------------------------
+    def allocation_at(self, address: int) -> Allocation | None:
+        """The live allocation whose user pointer is exactly *address*."""
+        return self._live.get(int(address))
+
+    def live_allocations(self) -> list[Allocation]:
+        """All live allocations, in allocation order."""
+        return sorted(self._live.values(), key=lambda a: a.serial)
+
+    def usable_size(self, address: int) -> int:
+        alloc = self._live.get(int(address))
+        if alloc is None:
+            raise AllocatorError(f"usable_size of unallocated pointer {address:#x}")
+        return align_up(max(alloc.size, 1), _ALIGN)
+
+    # -- internals ----------------------------------------------------------
+    def _carve(self, usable: int) -> int:
+        """First-fit from the free list, else extend the heap."""
+        for i, (addr, sz) in enumerate(self._free_list):
+            if sz >= usable:
+                if sz - usable >= _ALIGN + _HEADER:
+                    # Split: remainder stays free.
+                    self._free_list[i] = (addr + _HEADER + usable, sz - usable - _HEADER)
+                else:
+                    self._free_list.pop(i)
+                return addr
+        base = self.space.sbrk(usable + _HEADER)
+        return base + _HEADER

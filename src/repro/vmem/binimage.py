@@ -1,0 +1,93 @@
+"""Binary image with a static symbol table.
+
+Extrae complements allocation interception by *exploring the binary for
+static data objects* — symbols in ``.data``, ``.bss`` and ``.rodata``
+are data objects identified by name rather than by allocation
+call-stack.  This module models that binary image: workloads declare
+their globals here, the image lays them out inside the address space's
+data segment, and the tracer's static scan simply iterates the symbol
+table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.bitops import align_up
+from repro.vmem.layout import AddressSpace
+
+__all__ = ["BinaryImage", "StaticSymbol"]
+
+_SECTIONS = ("data", "bss", "rodata")
+
+
+@dataclass(frozen=True)
+class StaticSymbol:
+    """One static data object in the binary."""
+
+    name: str
+    address: int
+    size: int
+    section: str
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+
+class BinaryImage:
+    """The executable's static data objects, laid out in the data segment.
+
+    Parameters
+    ----------
+    space:
+        Address space providing the data segment bounds.
+    """
+
+    def __init__(self, space: AddressSpace) -> None:
+        self.space = space
+        self._cursor = space.data_start
+        self._symbols: dict[str, StaticSymbol] = {}
+
+    def add_symbol(self, name: str, size: int, section: str = "bss", align: int = 64) -> StaticSymbol:
+        """Declare a static object; returns its placed symbol.
+
+        Raises
+        ------
+        ValueError
+            On duplicate names, unknown sections, non-positive sizes, or
+            data-segment overflow.
+        """
+        if name in self._symbols:
+            raise ValueError(f"duplicate static symbol {name!r}")
+        if section not in _SECTIONS:
+            raise ValueError(f"unknown section {section!r}, expected one of {_SECTIONS}")
+        if size <= 0:
+            raise ValueError(f"symbol {name!r} needs a positive size, got {size}")
+        addr = align_up(self._cursor, align)
+        if addr + size > self.space.data_end:
+            raise ValueError(
+                f"data segment overflow placing {name!r} "
+                f"({size} bytes at {addr:#x}, segment ends {self.space.data_end:#x})"
+            )
+        self._cursor = addr + size
+        sym = StaticSymbol(name, addr, int(size), section)
+        self._symbols[name] = sym
+        return sym
+
+    def symbol(self, name: str) -> StaticSymbol:
+        """Look up a symbol by name."""
+        try:
+            return self._symbols[name]
+        except KeyError:
+            raise KeyError(f"no static symbol named {name!r}") from None
+
+    def symbols(self) -> list[StaticSymbol]:
+        """All symbols in address order — the tracer's static scan."""
+        return sorted(self._symbols.values(), key=lambda s: s.address)
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._symbols

@@ -1,0 +1,88 @@
+"""Call-stack frames and allocation-site naming.
+
+Extrae identifies dynamically allocated objects by the call-stack of the
+allocation; the Folding report then labels address-space regions with a
+compact ``<line>_<file>`` tag — Figure 1 of the paper shows
+``124_GenerateProblem_ref.cpp`` and ``205_GenerateProblem_ref.cpp``.
+This module provides the frame/stack model and that naming rule.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass
+
+__all__ = ["CallStack", "Frame"]
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One stack frame: a source location inside a function."""
+
+    function: str
+    file: str
+    line: int
+
+    def __post_init__(self) -> None:
+        if self.line < 0:
+            raise ValueError(f"line must be non-negative, got {self.line}")
+
+    @property
+    def basename(self) -> str:
+        return posixpath.basename(self.file)
+
+    def __str__(self) -> str:
+        return f"{self.function} ({self.basename}:{self.line})"
+
+
+@dataclass(frozen=True)
+class CallStack:
+    """An ordered call stack, outermost frame first.
+
+    Hashable, so it can key allocation-site dictionaries directly.
+    """
+
+    frames: tuple[Frame, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.frames, tuple):
+            object.__setattr__(self, "frames", tuple(self.frames))
+        if not self.frames:
+            raise ValueError("a call stack needs at least one frame")
+
+    @classmethod
+    def single(cls, function: str, file: str, line: int) -> "CallStack":
+        return cls((Frame(function, file, line),))
+
+    @property
+    def leaf(self) -> Frame:
+        """Innermost frame — the allocation site itself."""
+        return self.frames[-1]
+
+    @property
+    def depth(self) -> int:
+        return len(self.frames)
+
+    def push(self, frame: Frame) -> "CallStack":
+        """New stack with *frame* entered (becomes the leaf)."""
+        return CallStack(self.frames + (frame,))
+
+    def pop(self) -> "CallStack":
+        """New stack with the leaf removed."""
+        if len(self.frames) == 1:
+            raise ValueError("cannot pop the last frame")
+        return CallStack(self.frames[:-1])
+
+    def site_id(self) -> str:
+        """Paper-style allocation-site tag: ``<line>_<file-basename>``.
+
+        E.g. ``124_GenerateProblem_ref.cpp``.
+        """
+        leaf = self.leaf
+        return f"{leaf.line}_{leaf.basename}"
+
+    def __str__(self) -> str:
+        return " > ".join(str(f) for f in self.frames)
+
+    def __iter__(self):
+        return iter(self.frames)

@@ -1,0 +1,143 @@
+"""Process address-space layout with ASLR.
+
+Models the pieces of a Linux x86-64 address space that matter for
+data-object resolution: the executable's static data segment, the brk
+heap, the mmap area (where glibc places large allocations and where the
+paper's Figure 1 addresses — ``0x2adf...`` — live), and the stack.
+
+ASLR randomizes the heap, mmap and stack bases per *run*; the text/data
+base is fixed (non-PIE executable, matching HPC practice of compiling
+benchmarks without PIE).  Two runs built from different RNG draws get
+disjoint mmap bases, which is what breaks naive cross-run address
+correlation and motivates the paper's single-run multiplexing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.bitops import align_up
+
+__all__ = ["AddressSpace", "AddressSpaceConfig"]
+
+_PAGE = 4096
+
+
+@dataclass(frozen=True)
+class AddressSpaceConfig:
+    """Bases and entropy of the simulated layout.
+
+    The defaults mimic the legacy mmap layout visible in the paper's
+    figure (mmap region around ``0x2ad0_0000_0000``).
+    """
+
+    text_base: int = 0x400000
+    text_size: int = 2 << 20
+    #: static data (.data/.bss/.rodata) directly follows text
+    data_size: int = 8 << 20
+    heap_gap_entropy: int = 13 << 20  # brk start jitter (bytes)
+    mmap_base: int = 0x2AD000000000
+    mmap_entropy_pages: int = 1 << 20  # ±pages of mmap base jitter
+    stack_top: int = 0x7FFFFFFFE000
+    stack_entropy: int = 8 << 20
+    stack_size: int = 8 << 20
+    aslr: bool = True
+
+
+class AddressSpace:
+    """One process's address space; hands out heap/mmap/stack placements.
+
+    Parameters
+    ----------
+    rng:
+        Source of ASLR entropy.  Two spaces built with different draws
+        have different heap/mmap bases; with ``config.aslr`` false the
+        layout is fully deterministic (like ``setarch -R``).
+    config:
+        Base addresses and entropy budgets.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator | None = None,
+        config: AddressSpaceConfig | None = None,
+    ) -> None:
+        self.config = config or AddressSpaceConfig()
+        rng = rng or np.random.default_rng(0)
+        cfg = self.config
+
+        self.text_start = cfg.text_base
+        self.text_end = cfg.text_base + cfg.text_size
+        self.data_start = self.text_end
+        self.data_end = self.data_start + cfg.data_size
+
+        if cfg.aslr:
+            heap_gap = int(rng.integers(0, max(cfg.heap_gap_entropy // _PAGE, 1))) * _PAGE
+            mmap_jitter = int(rng.integers(0, cfg.mmap_entropy_pages)) * _PAGE
+            stack_jitter = int(rng.integers(0, max(cfg.stack_entropy // 16, 1))) * 16
+        else:
+            heap_gap = mmap_jitter = stack_jitter = 0
+
+        #: brk heap start and current break
+        self.heap_start = align_up(self.data_end + heap_gap, _PAGE)
+        self.brk = self.heap_start
+        #: mmap allocation cursor (grows upward from the jittered base)
+        self.mmap_start = cfg.mmap_base + mmap_jitter
+        self._mmap_cursor = self.mmap_start
+        #: stack grows down from the jittered top
+        self.stack_top = cfg.stack_top - stack_jitter
+        self.stack_bottom = self.stack_top - cfg.stack_size
+
+    # -- segment queries ----------------------------------------------
+    def segment_of(self, address: int) -> str:
+        """Name of the segment containing *address*.
+
+        One of ``"text"``, ``"data"``, ``"heap"``, ``"mmap"``,
+        ``"stack"`` or ``"unmapped"``.
+        """
+        a = int(address)
+        if self.text_start <= a < self.text_end:
+            return "text"
+        if self.data_start <= a < self.data_end:
+            return "data"
+        if self.heap_start <= a < self.brk:
+            return "heap"
+        if self.mmap_start <= a < self._mmap_cursor:
+            return "mmap"
+        if self.stack_bottom <= a < self.stack_top:
+            return "stack"
+        return "unmapped"
+
+    # -- placement primitives -------------------------------------------
+    def sbrk(self, nbytes: int) -> int:
+        """Extend the heap by *nbytes*; returns the old break (block base)."""
+        if nbytes < 0:
+            raise ValueError(f"sbrk takes a non-negative size, got {nbytes}")
+        old = self.brk
+        self.brk += int(nbytes)
+        if self.brk >= self.mmap_start:
+            raise MemoryError("heap collided with the mmap region")
+        return old
+
+    def mmap(self, nbytes: int, guard_pages: int = 1) -> int:
+        """Reserve *nbytes* (page-rounded) in the mmap area.
+
+        A guard gap separates consecutive mappings, like glibc's
+        per-mapping layout.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"mmap needs a positive size, got {nbytes}")
+        base = self._mmap_cursor
+        span = align_up(int(nbytes), _PAGE) + guard_pages * _PAGE
+        self._mmap_cursor += span
+        if self._mmap_cursor >= self.stack_bottom:
+            raise MemoryError("mmap region collided with the stack")
+        return base
+
+    def stack_frame(self, depth_bytes: int) -> int:
+        """Address of a stack slot *depth_bytes* below the top."""
+        if not 0 <= depth_bytes < self.config.stack_size:
+            raise ValueError("stack depth out of range")
+        return self.stack_top - int(depth_bytes)

@@ -1,0 +1,25 @@
+"""Workloads that drive the simulated machine through the tracer.
+
+The paper evaluates HPCG 3.0 (:mod:`repro.workloads.hpcg`) — a full
+reproduction including problem generation with the reference code's
+per-row allocation behaviour, the SYMGS/SPMV/MG/CG kernel structure and
+model-driven access streams.  Smaller workloads exercise the tool chain
+on other archetypes: :mod:`repro.workloads.stream` (bandwidth sweeps),
+:mod:`repro.workloads.randomaccess` (GUPS-style latency-bound random
+access) and :mod:`repro.workloads.stencil` (2-D Jacobi).
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.hpcg import HpcgConfig, HpcgWorkload
+from repro.workloads.randomaccess import RandomAccessWorkload
+from repro.workloads.stencil import StencilWorkload
+from repro.workloads.stream import StreamWorkload
+
+__all__ = [
+    "HpcgConfig",
+    "HpcgWorkload",
+    "RandomAccessWorkload",
+    "StencilWorkload",
+    "StreamWorkload",
+    "Workload",
+]

@@ -1,0 +1,36 @@
+"""Workload protocol.
+
+A workload first *sets up* its data objects through the tracer's
+allocator (so allocation interception sees them), then *runs*, emitting
+instrumented regions, iteration markers and kernel batches.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.extrae.tracer import Tracer
+
+__all__ = ["Workload"]
+
+
+class Workload(ABC):
+    """Base class for traceable workloads."""
+
+    #: short name used in trace metadata and reports
+    name: str = "workload"
+
+    @abstractmethod
+    def setup(self, tracer: Tracer) -> None:
+        """Allocate data objects and declare static symbols."""
+
+    @abstractmethod
+    def run(self, tracer: Tracer) -> None:
+        """Execute the instrumented workload on the tracer's machine."""
+
+    def trace(self, tracer: Tracer):
+        """Convenience: setup, run, finalize; returns the trace."""
+        tracer.trace.metadata["workload"] = self.name
+        self.setup(tracer)
+        self.run(tracer)
+        return tracer.finalize()

@@ -1,0 +1,33 @@
+"""HPCG 3.0 reproduction.
+
+High Performance Conjugate Gradient: an additive-Schwarz, symmetric
+Gauss–Seidel preconditioned CG solver over a 27-point stencil on a 3-D
+grid (Dongarra, Heroux, Luszczek).  The paper runs the reference code
+with a local problem of nx=ny=nz=104 on 24 cores and analyses the
+execution phase.
+
+This package provides two coupled views of the benchmark:
+
+* :mod:`repro.workloads.hpcg.numerics` — the actual mathematics in
+  SciPy sparse form (problem construction, SYMGS sweeps, MG V-cycle,
+  preconditioned CG), used to validate that the reproduced benchmark
+  really converges like HPCG;
+* :mod:`repro.workloads.hpcg.problem` + :mod:`~repro.workloads.hpcg.kernels`
+  + :mod:`~repro.workloads.hpcg.driver` — the *traced* benchmark:
+  problem generation performs the reference code's allocation pattern
+  (three per-row ``new`` arrays, a ``std::map`` node per row, mmap'd
+  vectors), and every kernel emits the access streams the reference
+  C++ loops perform, through the tracer onto the simulated machine.
+"""
+
+from repro.workloads.hpcg.driver import HpcgConfig, HpcgWorkload
+from repro.workloads.hpcg.geometry import Geometry
+from repro.workloads.hpcg.problem import HpcgProblem, LevelLayout
+
+__all__ = [
+    "Geometry",
+    "HpcgConfig",
+    "HpcgProblem",
+    "HpcgWorkload",
+    "LevelLayout",
+]

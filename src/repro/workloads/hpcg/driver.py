@@ -1,0 +1,331 @@
+"""The traced HPCG benchmark driver.
+
+Reproduces the instrumented execution phase of the paper: a
+preconditioned-CG iteration whose phase sequence is exactly Figure 1's
+
+``A``  ComputeSYMGS_ref   (MG pre-smoothing: forward sweep a1, backward a2)
+``B``  ComputeSPMV_ref    (MG fine-level residual)
+``C``  ComputeMG_ref      (recursion onto the coarser levels)
+``D``  ComputeSYMGS_ref   (MG post-smoothing: d1, d2)
+``E``  ComputeSPMV_ref    (CG's ``Ap = A p``)
+
+plus the dot products and WAXPBY updates of the CG body and the halo
+exchanges that precede every gather kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.extrae.tracer import Tracer
+from repro.memsim.patterns import MemOp, SequentialPattern
+from repro.simproc.calibration import KERNEL_MLP
+from repro.simproc.isa import KernelBatch
+from repro.vmem.callstack import Frame
+from repro.workloads.base import Workload
+from repro.workloads.hpcg.geometry import Geometry
+from repro.workloads.hpcg.kernels import (
+    KernelCosts,
+    dot_batches,
+    mg_transfer_batches,
+    spmv_batches,
+    symgs_sweep_batches,
+    waxpby_batches,
+)
+from repro.workloads.hpcg.problem import HpcgProblem, LevelLayout
+
+__all__ = ["HpcgConfig", "HpcgWorkload"]
+
+
+@dataclass(frozen=True)
+class HpcgConfig:
+    """Benchmark configuration.
+
+    The paper's run is ``nx=ny=nz=104, nlevels=4`` on an interior rank
+    of a 24-rank job; the defaults here are a laptop-scale version with
+    the same structure.
+    """
+
+    nx: int = 24
+    ny: int = 24
+    nz: int = 24
+    nlevels: int = 3
+    n_iterations: int = 10
+    blocks_per_kernel: int = 8
+    rank: int = 1
+    npz: int = 3
+    wrap_matrix: bool = True
+    emit_setup_traffic: bool = True
+    #: additionally run the SciPy reference numerics for the same
+    #: geometry/iterations and record the residual history in the trace
+    #: metadata (small problems only — builds the actual operator)
+    validate_numerics: bool = False
+    costs: KernelCosts = field(default_factory=KernelCosts)
+    #: per-kernel MLP overrides (ablation A1 forces these equal)
+    mlp: dict[str, float] = field(default_factory=lambda: dict(KERNEL_MLP))
+
+    @property
+    def geometry(self) -> Geometry:
+        return Geometry(
+            self.nx, self.ny, self.nz, self.nlevels, rank=self.rank, npz=self.npz
+        )
+
+    @classmethod
+    def paper(cls, n_iterations: int = 10) -> "HpcgConfig":
+        """The full §III configuration (use the analytic engine!)."""
+        return cls(nx=104, ny=104, nz=104, nlevels=4, n_iterations=n_iterations)
+
+
+class HpcgWorkload(Workload):
+    """HPCG under the tracer."""
+
+    name = "hpcg"
+
+    def __init__(self, config: HpcgConfig | None = None) -> None:
+        self.config = config or HpcgConfig()
+        self.problem: HpcgProblem | None = None
+
+    # ------------------------------------------------------------------
+    def setup(self, tracer: Tracer) -> None:
+        tracer.trace.metadata.update(
+            {
+                "nx": self.config.nx,
+                "ny": self.config.ny,
+                "nz": self.config.nz,
+                "nlevels": self.config.nlevels,
+                "n_iterations": self.config.n_iterations,
+                "rank": self.config.rank,
+                "npz": self.config.npz,
+            }
+        )
+        self.problem = HpcgProblem.generate(
+            tracer,
+            self.config.geometry,
+            wrap_matrix=self.config.wrap_matrix,
+            emit_setup_traffic=self.config.emit_setup_traffic,
+        )
+        # Record the layout annotations the analyst adds to the folded
+        # address panel (Figure 1's ghost/bottom/top labels and the
+        # heap/mmap split).
+        fine = self.problem.fine
+        lo, hi = fine.matrix_span
+        annotations: dict[str, list[int]] = {"matrix_span": [lo, hi]}
+        for label, (b_lo, b_hi) in fine.halo_ranges("z").items():
+            annotations[label] = [b_lo, b_hi]
+        tracer.trace.metadata["annotations"] = annotations
+
+    def run(self, tracer: Tracer) -> None:
+        if self.problem is None:
+            raise RuntimeError("setup() must run before run()")
+        fine = self.problem.fine
+        # CG setup: r = b - A x (the paper excludes this from analysis).
+        with tracer.region("CG_setup", Frame("CG_ref", "CG_ref.cpp", 60)):
+            self._halo_exchange(tracer, fine, "x")
+            self._run_all(
+                tracer,
+                spmv_batches(
+                    fine, fine.vector("x"), fine.vector("Ap"),
+                    self._blocks(0), self.config.costs, self._mlp("spmv"),
+                ),
+                region=("ComputeSPMV_ref", Frame("ComputeSPMV_ref", "ComputeSPMV_ref.cpp", 41)),
+            )
+            self._run_all(
+                tracer,
+                waxpby_batches(
+                    fine.vector("r"), fine.vector("b"), fine.vector("Ap"),
+                    fine.nrows, self.config.costs,
+                ),
+                region=("ComputeWAXPBY_ref", None),
+            )
+        tracer.marker("execution_phase_begin")
+        for _ in range(self.config.n_iterations):
+            tracer.iteration("cg")
+            self._cg_iteration(tracer)
+        tracer.marker("execution_phase_end")
+        if self.config.validate_numerics:
+            self._validate_numerics(tracer)
+
+    def _validate_numerics(self, tracer: Tracer) -> None:
+        """Solve the same problem with the SciPy reference numerics and
+        record convergence evidence next to the performance trace."""
+        from repro.workloads.hpcg import numerics
+
+        geometry = self.config.geometry
+        # The reference numerics model the single-rank operator (the
+        # traced halo traffic has no numeric counterpart to exchange).
+        local = Geometry(geometry.nx, geometry.ny, geometry.nz, geometry.nlevels)
+        levels = numerics.build_levels(local)
+        rng_b = local.nrows(0)
+        import numpy as np
+
+        b = np.ones(rng_b)
+        _, residuals = numerics.cg_solve(
+            levels, b, max_iters=self.config.n_iterations
+        )
+        tracer.trace.metadata["residual_history"] = [float(r) for r in residuals]
+        tracer.trace.metadata["residual_reduction"] = (
+            float(residuals[-1] / residuals[0]) if residuals[0] else 0.0
+        )
+
+    # ------------------------------------------------------------------
+    def _cg_iteration(self, tracer: Tracer) -> None:
+        fine = self.problem.fine
+        # z = MG(r): phases A, B, C, D.
+        self._mg(tracer, level=0)
+        # Dot products + p update (WAXPBY).
+        self._run_all(
+            tracer,
+            dot_batches(fine.vector("r"), fine.vector("z"), fine.nrows,
+                        self.config.costs),
+            region=("ComputeDotProduct_ref", None),
+        )
+        self._run_all(
+            tracer,
+            waxpby_batches(fine.vector("p"), fine.vector("z"), fine.vector("p"),
+                           fine.nrows, self.config.costs),
+            region=("ComputeWAXPBY_ref", None),
+        )
+        # E: Ap = A p.
+        self._halo_exchange(tracer, fine, "p")
+        with tracer.region("ComputeSPMV_ref", Frame("ComputeSPMV_ref", "ComputeSPMV_ref.cpp", 41)):
+            self._run_all(
+                tracer,
+                spmv_batches(
+                    fine, fine.vector("p"), fine.vector("Ap"),
+                    self._blocks(0), self.config.costs, self._mlp("spmv"),
+                ),
+            )
+        # alpha = rtz / (p, Ap); x += alpha p; r -= alpha Ap.
+        self._run_all(
+            tracer,
+            dot_batches(fine.vector("p"), fine.vector("Ap"), fine.nrows,
+                        self.config.costs),
+            region=("ComputeDotProduct_ref", None),
+        )
+        self._run_all(
+            tracer,
+            waxpby_batches(fine.vector("x"), fine.vector("x"), fine.vector("p"),
+                           fine.nrows, self.config.costs),
+            region=("ComputeWAXPBY_ref", None),
+        )
+        self._run_all(
+            tracer,
+            waxpby_batches(fine.vector("r"), fine.vector("r"), fine.vector("Ap"),
+                           fine.nrows, self.config.costs),
+            region=("ComputeWAXPBY_ref", None),
+        )
+
+    def _mg(self, tracer: Tracer, level: int) -> None:
+        """``ComputeMG_ref`` at *level*: smooth, residual, recurse."""
+        layout = self.problem.levels[level]
+        rhs = layout.vector("r")
+        x = layout.vector("z") if level == 0 else layout.vector("x")
+        with tracer.region("ComputeMG_ref", Frame("ComputeMG_ref", "ComputeMG_ref.cpp", 40)):
+            self._symgs(tracer, layout, rhs, x)  # pre-smooth (A: a1+a2)
+            if level + 1 < len(self.problem.levels):
+                coarse = self.problem.levels[level + 1]
+                self._halo_exchange(tracer, layout, "z" if level == 0 else "x")
+                with tracer.region("ComputeSPMV_ref", Frame("ComputeSPMV_ref", "ComputeSPMV_ref.cpp", 41)):
+                    self._run_all(
+                        tracer,
+                        spmv_batches(
+                            layout, x, layout.vector("Axf"),
+                            self._blocks(level), self.config.costs, self._mlp("spmv"),
+                        ),
+                    )
+                self._run_all(
+                    tracer,
+                    mg_transfer_batches(
+                        layout, coarse, "restrict", rhs, layout.vector("Axf"),
+                        coarse.vector("r"), self.config.costs,
+                    ),
+                    region=("ComputeRestriction_ref", None),
+                )
+                self._mg(tracer, level + 1)  # C
+                self._run_all(
+                    tracer,
+                    mg_transfer_batches(
+                        layout, coarse, "prolong", x, layout.vector("Axf"),
+                        coarse.vector("x"), self.config.costs,
+                    ),
+                    region=("ComputeProlongation_ref", None),
+                )
+                self._symgs(tracer, layout, rhs, x)  # post-smooth (D: d1+d2)
+
+    def _symgs(self, tracer: Tracer, layout: LevelLayout, rhs: int, x: int) -> None:
+        """One symmetric GS step: halo exchange, forward, backward."""
+        vec_name = "z" if layout.level == 0 else "x"
+        self._halo_exchange(tracer, layout, vec_name)
+        with tracer.region(
+            "ComputeSYMGS_ref", Frame("ComputeSYMGS_ref", "ComputeSYMGS_ref.cpp", 68)
+        ):
+            for direction in (1, -1):
+                key = "symgs_forward" if direction == 1 else "symgs_backward"
+                self._run_all(
+                    tracer,
+                    symgs_sweep_batches(
+                        layout, rhs, x, direction,
+                        self._blocks(layout.level), self.config.costs,
+                        self._mlp(key),
+                    ),
+                )
+
+    def _halo_exchange(self, tracer: Tracer, layout: LevelLayout, vector: str) -> None:
+        """Pack boundary planes, 'receive' into the halo entries."""
+        if layout.halo_entries == 0:
+            return
+        x = layout.vector(vector)
+        plane_b = layout.plane * 8
+        patterns = []
+        sendbuf = layout.vectors.get("sendbuf")
+        cursor = sendbuf
+        if layout.has_bottom:
+            patterns.append(SequentialPattern(x, layout.plane, 8))  # pack low plane
+            patterns.append(
+                SequentialPattern(cursor, layout.plane, 8, op=MemOp.STORE)
+            )
+            cursor += plane_b
+        if layout.has_top:
+            patterns.append(
+                SequentialPattern(x + (layout.nrows - layout.plane) * 8, layout.plane, 8)
+            )
+            patterns.append(
+                SequentialPattern(cursor, layout.plane, 8, op=MemOp.STORE)
+            )
+        # Receive: neighbours' planes land in the halo entries.
+        patterns.append(
+            SequentialPattern(
+                x + layout.nrows * 8, layout.halo_entries, 8, op=MemOp.STORE
+            )
+        )
+        total = sum(p.count for p in patterns)
+        with tracer.region(
+            "ExchangeHalo", Frame("ExchangeHalo", "ExchangeHalo.cpp", 60)
+        ):
+            tracer.execute(
+                KernelBatch(
+                    label="halo_exchange",
+                    patterns=tuple(patterns),
+                    instructions=total * 4,
+                    branches=total // 8,
+                    mlp=KERNEL_MLP["default"],
+                    source=Frame("ExchangeHalo", "ExchangeHalo.cpp", 74),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def _blocks(self, level: int) -> int:
+        return max(1, self.config.blocks_per_kernel >> level)
+
+    def _mlp(self, kernel: str) -> float:
+        return self.config.mlp.get(kernel, KERNEL_MLP["default"])
+
+    def _run_all(self, tracer: Tracer, batches, region: tuple[str, Frame | None] | None = None):
+        if region is not None:
+            name, frame = region
+            with tracer.region(name, frame):
+                for b in batches:
+                    tracer.execute(b)
+        else:
+            for b in batches:
+                tracer.execute(b)

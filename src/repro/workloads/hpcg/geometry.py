@@ -1,0 +1,101 @@
+"""HPCG problem geometry and rank decomposition.
+
+The local grid is ``nx × ny × nz`` per MPI rank; the multigrid hierarchy
+halves every dimension per level.  Ranks are stacked 1-D along z (the
+decomposition that produces exactly the bottom/top halo planes the
+paper's Figure 1 annotates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Geometry"]
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Local problem geometry for one rank.
+
+    Parameters
+    ----------
+    nx, ny, nz:
+        Local grid dimensions (paper: 104 each).
+    nlevels:
+        Multigrid levels including the fine level (HPCG uses 4); every
+        dimension must be divisible by ``2**(nlevels - 1)``.
+    rank, npz:
+        This rank's index in a 1-D stack of ``npz`` ranks along z.
+    """
+
+    nx: int
+    ny: int
+    nz: int
+    nlevels: int = 4
+    rank: int = 0
+    npz: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.nx, self.ny, self.nz) < 2:
+            raise ValueError("grid dimensions must be at least 2")
+        if self.nlevels < 1:
+            raise ValueError("need at least one level")
+        divisor = 1 << (self.nlevels - 1)
+        for name, dim in (("nx", self.nx), ("ny", self.ny), ("nz", self.nz)):
+            if dim % divisor:
+                raise ValueError(
+                    f"{name}={dim} not divisible by 2^(nlevels-1)={divisor}"
+                )
+        if not 0 <= self.rank < self.npz:
+            raise ValueError(f"rank {self.rank} out of range for npz={self.npz}")
+
+    # -- per-level dimensions -----------------------------------------
+    def dims(self, level: int) -> tuple[int, int, int]:
+        """Grid dimensions at MG *level* (0 = fine)."""
+        self._check_level(level)
+        f = 1 << level
+        return self.nx // f, self.ny // f, self.nz // f
+
+    def nrows(self, level: int = 0) -> int:
+        nx, ny, nz = self.dims(level)
+        return nx * ny * nz
+
+    def plane(self, level: int = 0) -> int:
+        """Points in one z-plane (the halo exchange unit)."""
+        nx, ny, _ = self.dims(level)
+        return nx * ny
+
+    def total_rows(self) -> int:
+        """Rows summed over all MG levels."""
+        return sum(self.nrows(lv) for lv in range(self.nlevels))
+
+    # -- neighbours -----------------------------------------------------
+    @property
+    def has_bottom_neighbor(self) -> bool:
+        return self.rank > 0
+
+    @property
+    def has_top_neighbor(self) -> bool:
+        return self.rank < self.npz - 1
+
+    def halo_entries(self, level: int = 0) -> int:
+        """External (ghost) vector entries appended after local rows."""
+        n = 0
+        if self.has_bottom_neighbor:
+            n += self.plane(level)
+        if self.has_top_neighbor:
+            n += self.plane(level)
+        return n
+
+    def ncols(self, level: int = 0) -> int:
+        """Local vector length including appended halo entries."""
+        return self.nrows(level) + self.halo_entries(level)
+
+    def nnz_estimate(self, level: int = 0) -> int:
+        """27 nonzeros per interior row (boundary rows have fewer; HPCG
+        allocates 27 slots per row regardless)."""
+        return 27 * self.nrows(level)
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level < self.nlevels:
+            raise ValueError(f"level {level} out of range [0, {self.nlevels})")

@@ -1,0 +1,163 @@
+"""Reference HPCG numerics in SciPy sparse form.
+
+This is the mathematical content of the benchmark, independent of the
+tracing machinery: the 27-point operator, symmetric Gauss–Seidel
+smoothing, the multigrid V-cycle preconditioner and preconditioned CG.
+The traced workload's access streams mirror exactly these loops; the
+tests use this module to confirm the reproduced benchmark converges the
+way HPCG does (residual reduction, SPD operator, MG beating plain CG).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.workloads.hpcg.geometry import Geometry
+
+__all__ = [
+    "MgLevel",
+    "build_levels",
+    "build_matrix",
+    "cg_solve",
+    "mg_precondition",
+    "symgs",
+]
+
+
+def build_matrix(nx: int, ny: int, nz: int) -> sp.csr_matrix:
+    """The HPCG 27-point operator on an ``nx × ny × nz`` grid.
+
+    Diagonal 26, off-diagonals -1 to every neighbour in the 3×3×3
+    stencil cube (clipped at the local boundary, matching a single-rank
+    HPCG problem).  Symmetric positive definite.
+    """
+    n = nx * ny * nz
+    iz, iy, ix = np.meshgrid(
+        np.arange(nz), np.arange(ny), np.arange(nx), indexing="ij"
+    )
+    ix, iy, iz = ix.ravel(), iy.ravel(), iz.ravel()
+    rows_list, cols_list, vals_list = [], [], []
+    for dz in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                cx, cy, cz = ix + dx, iy + dy, iz + dz
+                mask = (
+                    (cx >= 0) & (cx < nx)
+                    & (cy >= 0) & (cy < ny)
+                    & (cz >= 0) & (cz < nz)
+                )
+                r = (iz * ny + iy) * nx + ix
+                c = (cz * ny + cy) * nx + cx
+                rows_list.append(r[mask])
+                cols_list.append(c[mask])
+                value = 26.0 if (dx == 0 and dy == 0 and dz == 0) else -1.0
+                vals_list.append(np.full(int(mask.sum()), value))
+    A = sp.csr_matrix(
+        (np.concatenate(vals_list), (np.concatenate(rows_list), np.concatenate(cols_list))),
+        shape=(n, n),
+    )
+    A.sum_duplicates()
+    return A
+
+
+def symgs(A: sp.csr_matrix, r: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """One symmetric Gauss–Seidel step: forward sweep then backward sweep.
+
+    Returns the updated ``x`` (also updated in place), exactly the
+    reference ``ComputeSYMGS_ref`` semantics.
+    """
+    lower = sp.tril(A, 0, format="csr")  # D + L
+    upper = sp.triu(A, 0, format="csr")  # D + U
+    # Forward: (D+L) x_new = r - U x   with U = A - (D+L)
+    rhs = r - (A - lower) @ x
+    x[:] = spla.spsolve_triangular(lower, rhs, lower=True)
+    # Backward: (D+U) x_new = r - L x
+    rhs = r - (A - upper) @ x
+    x[:] = spla.spsolve_triangular(upper, rhs, lower=False)
+    return x
+
+
+@dataclass
+class MgLevel:
+    """One level of the multigrid hierarchy."""
+
+    A: sp.csr_matrix
+    #: fine-row index of each coarse row (injection restriction)
+    f2c: np.ndarray | None  # None on the coarsest level
+
+
+def build_levels(geometry: Geometry) -> list[MgLevel]:
+    """The MG hierarchy: rediscretized operators + injection maps."""
+    levels: list[MgLevel] = []
+    for lv in range(geometry.nlevels):
+        nx, ny, nz = geometry.dims(lv)
+        A = build_matrix(nx, ny, nz)
+        f2c = None
+        if lv + 1 < geometry.nlevels:
+            cnx, cny, cnz = geometry.dims(lv + 1)
+            cz, cy, cx = np.meshgrid(
+                np.arange(cnz), np.arange(cny), np.arange(cnx), indexing="ij"
+            )
+            f2c = ((2 * cz * ny + 2 * cy) * nx + 2 * cx).ravel()
+        levels.append(MgLevel(A=A, f2c=f2c))
+    return levels
+
+
+def mg_precondition(levels: list[MgLevel], r: np.ndarray, level: int = 0) -> np.ndarray:
+    """Apply one MG V-cycle to *r*: the HPCG ``ComputeMG_ref`` recursion.
+
+    Pre-smooth, compute residual, restrict (injection), recurse,
+    prolongate (add), post-smooth.
+    """
+    A = levels[level].A
+    x = np.zeros(A.shape[0])
+    symgs(A, r, x)  # pre-smooth
+    if level + 1 < len(levels):
+        f2c = levels[level].f2c
+        axf = A @ x
+        rc = (r - axf)[f2c]  # restriction by injection
+        xc = mg_precondition(levels, rc, level + 1)
+        x[f2c] += xc  # prolongation by injection
+        symgs(A, r, x)  # post-smooth
+    return x
+
+
+def cg_solve(
+    levels: list[MgLevel],
+    b: np.ndarray,
+    max_iters: int = 50,
+    tol: float = 0.0,
+    preconditioned: bool = True,
+) -> tuple[np.ndarray, list[float]]:
+    """Preconditioned CG, reference-HPCG structure.
+
+    Returns the solution and the residual-norm history (one entry per
+    iteration, starting with the initial residual).
+    """
+    A = levels[0].A
+    x = np.zeros_like(b)
+    r = b - A @ x
+    residuals = [float(np.linalg.norm(r))]
+    p = np.zeros_like(b)
+    rtz_old = 0.0
+    for k in range(max_iters):
+        z = mg_precondition(levels, r) if preconditioned else r.copy()
+        rtz = float(r @ z)
+        if k == 0:
+            p[:] = z
+        else:
+            p[:] = z + (rtz / rtz_old) * p
+        rtz_old = rtz
+        ap = A @ p
+        alpha = rtz / float(p @ ap)
+        x += alpha * p
+        r -= alpha * ap
+        norm = float(np.linalg.norm(r))
+        residuals.append(norm)
+        if tol > 0 and norm <= tol * residuals[0]:
+            break
+    return x, residuals

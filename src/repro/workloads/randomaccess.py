@@ -1,0 +1,78 @@
+"""GUPS-style random-access workload.
+
+Latency-bound updates at uniformly random table locations: the polar
+opposite of HPCG's streaming sweeps.  In the folded address view the
+samples fill the table's address band uniformly instead of forming
+ramps, and the counter view shows a near-1 L3 miss rate per update —
+useful both as a tool demonstration and as a stress test for the
+random-pattern path of the analytic engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.extrae.tracer import Tracer
+from repro.memsim.patterns import MemOp, RandomPattern
+from repro.simproc.isa import KernelBatch
+from repro.vmem.callstack import CallStack, Frame
+from repro.workloads.base import Workload
+
+__all__ = ["RandomAccessConfig", "RandomAccessWorkload"]
+
+
+@dataclass(frozen=True)
+class RandomAccessConfig:
+    """Table size (bytes), updates per iteration, iterations."""
+
+    table_bytes: int = 1 << 24
+    updates_per_iteration: int = 1 << 16
+    iterations: int = 8
+    instr_per_update: float = 10.0
+    mlp: float = 4.0
+    seed: int = 12345
+
+
+class RandomAccessWorkload(Workload):
+    """Read-modify-write at random table offsets."""
+
+    name = "randomaccess"
+
+    def __init__(self, config: RandomAccessConfig | None = None) -> None:
+        self.config = config or RandomAccessConfig()
+        self.table = 0
+
+    def setup(self, tracer: Tracer) -> None:
+        site = CallStack((Frame("main", "gups.c", 88),))
+        self.table = tracer.allocator.malloc(self.config.table_bytes, site)
+        tracer.trace.metadata.update(
+            {"table_bytes": self.config.table_bytes,
+             "updates": self.config.updates_per_iteration}
+        )
+
+    def run(self, tracer: Tracer) -> None:
+        cfg = self.config
+        src = Frame("update_table", "gups.c", 133)
+        for it in range(cfg.iterations):
+            tracer.iteration("gups")
+            with tracer.region("update_table", src):
+                load = RandomPattern(
+                    self.table, cfg.table_bytes, cfg.updates_per_iteration,
+                    elem_size=8, seed=cfg.seed + it,
+                )
+                store = RandomPattern(
+                    self.table, cfg.table_bytes, cfg.updates_per_iteration,
+                    elem_size=8, op=MemOp.STORE, seed=cfg.seed + it,
+                )
+                tracer.execute(
+                    KernelBatch(
+                        label="gups",
+                        patterns=(load, store),
+                        instructions=int(
+                            2 * cfg.updates_per_iteration * cfg.instr_per_update
+                        ),
+                        branches=cfg.updates_per_iteration // 2,
+                        mlp=cfg.mlp,
+                        source=src,
+                    )
+                )

@@ -1,0 +1,111 @@
+"""2-D 5-point Jacobi stencil workload.
+
+A ping-pong Jacobi iteration over two grids: forward sweeps only, so
+its folded address view is a pair of alternating ramps — a useful
+contrast with HPCG's forward+backward Gauss–Seidel and the workload
+used by the alloc-grouping example (its row allocations can be made
+deliberately small to trigger the threshold problem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.extrae.tracer import Tracer
+from repro.memsim.patterns import MemOp, SequentialPattern
+from repro.simproc.isa import KernelBatch
+from repro.vmem.callstack import CallStack, Frame
+from repro.workloads.base import Workload
+
+__all__ = ["StencilConfig", "StencilWorkload"]
+
+
+@dataclass(frozen=True)
+class StencilConfig:
+    """Grid dimensions, iterations, and allocation granularity.
+
+    With ``rows_allocated_individually=True`` each grid row is its own
+    small allocation (like HPCG's per-row arrays); with ``wrap_rows``
+    those are wrapped into one named group.
+    """
+
+    nx: int = 512
+    ny: int = 512
+    iterations: int = 10
+    blocks: int = 8
+    rows_allocated_individually: bool = False
+    wrap_rows: bool = True
+    instr_per_point: float = 9.0
+    mlp: float = 8.0
+
+
+class StencilWorkload(Workload):
+    """Jacobi: ``dst[i,j] = 0.25 * (src up/down/left/right)``."""
+
+    name = "stencil"
+
+    def __init__(self, config: StencilConfig | None = None) -> None:
+        self.config = config or StencilConfig()
+        self.grids: list[int] = []
+
+    def setup(self, tracer: Tracer) -> None:
+        cfg = self.config
+        row_bytes = cfg.nx * 8
+        for g in range(2):
+            site = CallStack((Frame("allocate_grid", "stencil.c", 42 + g),))
+            if cfg.rows_allocated_individually:
+                if cfg.wrap_rows:
+                    with tracer.wrap_allocations(f"{42 + g}_stencil.c"):
+                        run = tracer.allocator.malloc_run(cfg.ny, row_bytes, site)
+                else:
+                    run = tracer.allocator.malloc_run(cfg.ny, row_bytes, site)
+                self.grids.append(run.base)
+                # Row stride includes the allocator header.
+                self._row_stride = run.stride
+            else:
+                self.grids.append(tracer.allocator.malloc(cfg.ny * row_bytes, site))
+                self._row_stride = row_bytes
+        tracer.trace.metadata.update({"nx": cfg.nx, "ny": cfg.ny})
+
+    def run(self, tracer: Tracer) -> None:
+        cfg = self.config
+        src_frame = Frame("jacobi_sweep", "stencil.c", 77)
+        rows_per_block = max(1, cfg.ny // cfg.blocks)
+        for it in range(cfg.iterations):
+            tracer.iteration("jacobi")
+            src, dst = self.grids[it % 2], self.grids[(it + 1) % 2]
+            with tracer.region("jacobi_sweep", src_frame):
+                for r0 in range(0, cfg.ny, rows_per_block):
+                    r1 = min(r0 + rows_per_block, cfg.ny)
+                    n = (r1 - r0) * cfg.nx
+                    # Source rows r0-1..r1+1 stream through once,
+                    # clamped to the grid (the last row's chunk ends at
+                    # its data, not at the next chunk header).
+                    lo_row = max(0, r0 - 1)
+                    hi_row = min(r1 + 1, cfg.ny)
+                    src_end = (hi_row - 1) * self._row_stride + cfg.nx * 8
+                    dst_end = (r1 - 1) * self._row_stride + cfg.nx * 8
+                    patterns = (
+                        SequentialPattern(
+                            src + lo_row * self._row_stride,
+                            (src_end - lo_row * self._row_stride) // 8,
+                            8,
+                        ),
+                        SequentialPattern(
+                            dst + r0 * self._row_stride,
+                            (dst_end - r0 * self._row_stride) // 8,
+                            8,
+                            op=MemOp.STORE,
+                        ),
+                    )
+                    tracer.execute(
+                        KernelBatch(
+                            label="jacobi",
+                            patterns=patterns,
+                            instructions=int(n * cfg.instr_per_point),
+                            branches=n // 8,
+                            mlp=cfg.mlp,
+                            source=src_frame,
+                            flops=4 * n,
+                        )
+                    )

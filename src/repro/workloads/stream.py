@@ -1,0 +1,79 @@
+"""STREAM-triad workload: ``a[i] = b[i] + s * c[i]``.
+
+The canonical bandwidth microbenchmark — two load streams, one store
+stream, perfect spatial locality.  Used by the quickstart example and
+by tests as the simplest workload whose folded view has an obvious
+ground truth (three clean address ramps, flat counter rates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.extrae.tracer import Tracer
+from repro.memsim.patterns import MemOp, SequentialPattern
+from repro.simproc.isa import KernelBatch
+from repro.vmem.callstack import CallStack, Frame
+from repro.workloads.base import Workload
+
+__all__ = ["StreamConfig", "StreamWorkload"]
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Array length (elements), iterations, and chunking."""
+
+    n: int = 1 << 20
+    iterations: int = 10
+    blocks: int = 8
+    instr_per_elem: float = 6.0
+    mlp: float = 10.0
+
+
+class StreamWorkload(Workload):
+    """Triad over three separately allocated arrays."""
+
+    name = "stream"
+
+    def __init__(self, config: StreamConfig | None = None) -> None:
+        self.config = config or StreamConfig()
+        self.arrays: dict[str, int] = {}
+
+    def setup(self, tracer: Tracer) -> None:
+        nbytes = self.config.n * 8
+        for i, name in enumerate(("a", "b", "c")):
+            site = CallStack(
+                (Frame("main", "stream.c", 170 + i),)
+            )
+            self.arrays[name] = tracer.allocator.malloc(nbytes, site)
+        tracer.trace.metadata.update({"n": self.config.n, "iterations": self.config.iterations})
+
+    def run(self, tracer: Tracer) -> None:
+        cfg = self.config
+        bounds = [cfg.n * i // cfg.blocks for i in range(cfg.blocks + 1)]
+        src = Frame("triad", "stream.c", 317)
+        for _ in range(cfg.iterations):
+            tracer.iteration("triad")
+            with tracer.region("triad", src):
+                for lo, hi in zip(bounds, bounds[1:]):
+                    n = hi - lo
+                    if n == 0:
+                        continue
+                    patterns = (
+                        SequentialPattern(self.arrays["b"] + lo * 8, n, 8),
+                        SequentialPattern(self.arrays["c"] + lo * 8, n, 8),
+                        SequentialPattern(
+                            self.arrays["a"] + lo * 8, n, 8, op=MemOp.STORE
+                        ),
+                    )
+                    tracer.execute(
+                        KernelBatch(
+                            label="triad",
+                            patterns=patterns,
+                            instructions=int(3 * n * cfg.instr_per_elem),
+                            branches=n // 4,
+                            mlp=cfg.mlp,
+                            source=src,
+                            flops=2 * n,
+                        )
+                    )

@@ -1,0 +1,123 @@
+"""Tests for the hybrid-memory advisor and reuse-distance profiles."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.hybrid import HybridMemoryModel, advise_placement
+from repro.analysis.reuse import sampled_reuse_profile
+from repro.workloads.hpcg.problem import MATRIX_GROUP_NAME
+
+
+class TestHybridModel:
+    def test_rejects_bad_factors(self):
+        with pytest.raises(ValueError):
+            HybridMemoryModel(load_factor=0)
+        with pytest.raises(ValueError):
+            HybridMemoryModel(store_factor=-1)
+        with pytest.raises(ValueError):
+            HybridMemoryModel(capacity_bytes=0)
+
+
+class TestAdvisePlacement:
+    def test_matrix_is_read_only_and_moved(self, hpcg_report):
+        """The paper's closing observation: the read-only matrix region
+        benefits from a loads-faster technology."""
+        plan = advise_placement(hpcg_report)
+        matrix = next(a for a in plan.advice if a.name == MATRIX_GROUP_NAME)
+        assert matrix.classification == "read-only"
+        assert matrix.recommend_move
+        assert matrix.delta == pytest.approx(
+            plan.model.load_factor - 1.0
+        )
+
+    def test_total_delta_negative(self, hpcg_report):
+        plan = advise_placement(hpcg_report)
+        assert plan.total_delta() < 0
+        assert plan.moved_bytes() > 0
+
+    def test_store_heavy_object_kept(self, hpcg_report):
+        """With a strong store penalty, frequently written vectors stay."""
+        model = HybridMemoryModel(load_factor=0.9, store_factor=10.0)
+        plan = advise_placement(hpcg_report, model)
+        kept = [a for a in plan.advice if not a.recommend_move]
+        assert any(a.classification == "read-write" for a in kept)
+
+    def test_capacity_limits_moves(self, hpcg_report):
+        tiny = HybridMemoryModel(capacity_bytes=1)
+        plan = advise_placement(hpcg_report, tiny)
+        assert plan.moved() == []
+        assert plan.total_delta() == 0.0
+
+    def test_table_renders(self, hpcg_report):
+        text = advise_placement(hpcg_report).to_table()
+        assert "read-only" in text
+        assert "move" in text
+
+
+class TestReuseProfile:
+    def test_synthetic_repeats(self):
+        """Samples alternating between two lines: every reuse 2 samples
+        apart -> distance = 2 * period."""
+        from repro.extrae.trace import SampleTable
+
+        n = 100
+        cols = SampleTable.empty().columns()
+        base = np.zeros(n, dtype=np.uint64)
+        base[1::2] = 4096
+        cols = {
+            k: np.resize(v, n) if v.size else np.zeros(n, dtype=v.dtype)
+            for k, v in cols.items()
+        }
+        cols["address"] = base
+        cols["time_ns"] = np.arange(n, dtype=np.float64)
+        table = SampleTable(cols)
+        prof = sampled_reuse_profile(table, sampling_period=1000.0)
+        # Distances all = 2 * 1000 -> log2 = 10.96 -> bin 10.
+        assert prof.counts[10] == 98
+        assert prof.n_reuses == 98
+        assert prof.cold == 0
+
+    def test_cold_lines_counted(self):
+        from repro.extrae.trace import SampleTable
+
+        cols = {
+            k: np.zeros(3, dtype=v.dtype)
+            for k, v in SampleTable.empty().columns().items()
+        }
+        cols["address"] = np.array([0, 4096, 8192], dtype=np.uint64)
+        table = SampleTable(cols)
+        prof = sampled_reuse_profile(table, sampling_period=100)
+        assert prof.n_reuses == 0
+        assert prof.cold == 3
+
+    def test_hpcg_profile(self, hpcg_trace):
+        table = hpcg_trace.sample_table()
+        period = hpcg_trace.metadata["load_period"]
+        prof = sampled_reuse_profile(table, sampling_period=period)
+        assert prof.n_reuses > 0
+        cdf = prof.cdf()
+        assert (np.diff(cdf) >= 0).all()
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_hit_fraction_monotone_in_capacity(self, hpcg_trace):
+        table = hpcg_trace.sample_table()
+        prof = sampled_reuse_profile(table, sampling_period=500)
+        caps = [32 * 1024, 1 << 20, 1 << 25, 1 << 32]
+        fracs = [prof.hit_fraction(c) for c in caps]
+        assert fracs == sorted(fracs)
+        assert fracs[-1] == pytest.approx(1.0)
+
+    def test_table_renders(self, hpcg_trace):
+        prof = sampled_reuse_profile(hpcg_trace.sample_table(), sampling_period=500)
+        assert "reuse distance" in prof.to_table()
+
+    def test_rejects_bad_period(self, hpcg_trace):
+        with pytest.raises(ValueError):
+            sampled_reuse_profile(hpcg_trace.sample_table(), sampling_period=0)
+
+    def test_mask_restriction(self, hpcg_trace):
+        table = hpcg_trace.sample_table()
+        mask = np.zeros(table.n, dtype=bool)
+        mask[:10] = True
+        prof = sampled_reuse_profile(table, mask=mask, sampling_period=500)
+        assert prof.n_reuses + prof.cold <= 10

@@ -1,0 +1,128 @@
+"""Tests for the latency breakdown and folded-report comparison."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import compare_reports
+from repro.analysis.latency import latency_breakdown, top_cost_samples
+from repro.analysis.phases import segment_iteration
+from repro.folding.report import fold_trace
+from repro.memsim.datasource import DataSource
+from repro.pipeline import Session
+from repro.workloads import HpcgWorkload
+from repro.workloads.hpcg.problem import MATRIX_GROUP_NAME
+
+from tests.conftest import hpcg_session_config, small_hpcg_config
+
+
+class TestLatencyBreakdown:
+    def test_source_ordering_by_cost(self, hpcg_trace):
+        breakdown = latency_breakdown(hpcg_trace)
+        shares = [s.cost_share for s in breakdown.by_source]
+        assert shares == sorted(shares, reverse=True)
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_dram_costlier_than_l1(self, hpcg_trace):
+        breakdown = latency_breakdown(hpcg_trace)
+        sources = {s.source: s for s in breakdown.by_source}
+        if DataSource.DRAM in sources and DataSource.L1 in sources:
+            assert sources[DataSource.DRAM].mean > sources[DataSource.L1].mean
+
+    def test_percentiles_ordered(self, hpcg_trace):
+        for s in latency_breakdown(hpcg_trace).by_source:
+            assert s.p50 <= s.p95 + 1e-9
+            assert s.count > 0
+
+    def test_object_shares(self, hpcg_trace):
+        breakdown = latency_breakdown(hpcg_trace)
+        names = [o.name for o in breakdown.by_object]
+        assert MATRIX_GROUP_NAME in names
+        assert sum(o.cost_share for o in breakdown.by_object) == pytest.approx(1.0)
+
+    def test_table_renders(self, hpcg_trace):
+        text = latency_breakdown(hpcg_trace).to_table()
+        assert "Access cost by data source" in text
+        assert "Access cost by data object" in text
+
+    def test_empty_table(self):
+        from repro.extrae.trace import SampleTable
+
+        breakdown = latency_breakdown(SampleTable.empty())
+        assert breakdown.n_samples == 0
+        assert breakdown.by_source == []
+
+    def test_source_lookup(self, hpcg_trace):
+        breakdown = latency_breakdown(hpcg_trace)
+        assert breakdown.source(breakdown.by_source[0].source).count > 0
+        with pytest.raises(KeyError):
+            breakdown.source(DataSource.REMOTE)
+
+
+class TestTopCostSamples:
+    def test_returns_costliest(self, hpcg_trace):
+        table = hpcg_trace.sample_table()
+        top = top_cost_samples(table, 10)
+        assert top.n == 10
+        threshold = float(top.latency.min())
+        assert (table.latency <= threshold).mean() > 0.5
+
+    def test_rejects_bad_n(self, hpcg_trace):
+        with pytest.raises(ValueError):
+            top_cost_samples(hpcg_trace.sample_table(), 0)
+
+
+class TestCompareReports:
+    @pytest.fixture(scope="class")
+    def slowed_report(self):
+        """Same workload with SYMGS MLP halved: SYMGS phases slower."""
+        mlp = {"symgs_forward": 3.7, "symgs_backward": 3.7,
+               "spmv": 10.98, "default": 8.0}
+        cfg = small_hpcg_config(nx=32, n_iterations=3, mlp=mlp)
+        trace = Session(hpcg_session_config(seed=5, load_period=2000,
+                                            store_period=2000)).run(HpcgWorkload(cfg))
+        return fold_trace(trace)
+
+    @pytest.fixture(scope="class")
+    def base_report(self):
+        cfg = small_hpcg_config(nx=32, n_iterations=3)
+        trace = Session(hpcg_session_config(seed=5, load_period=2000,
+                                            store_period=2000)).run(HpcgWorkload(cfg))
+        return fold_trace(trace)
+
+    def test_self_comparison_is_identity(self, base_report):
+        phases = segment_iteration(
+            base_report.trace, base_report.instances, base_report.samples
+        )
+        cmp = compare_reports(base_report, base_report, phases)
+        assert cmp.overall_speedup == pytest.approx(1.0)
+        assert cmp.max_divergence() < 1e-9
+        for d in cmp.phase_deltas:
+            assert d.speedup == pytest.approx(1.0)
+
+    def test_detects_symgs_slowdown(self, base_report, slowed_report):
+        phases_a = segment_iteration(
+            base_report.trace, base_report.instances, base_report.samples
+        )
+        phases_b = segment_iteration(
+            slowed_report.trace, slowed_report.instances, slowed_report.samples
+        )
+        cmp = compare_reports(base_report, slowed_report, phases_a, phases_b,
+                              name_a="base", name_b="lowMLP")
+        assert cmp.overall_speedup < 1.0  # B is slower overall
+        deltas = {d.label: d for d in cmp.phase_deltas}
+        # SYMGS phases slowed; SPMV unchanged MIPS-wise.
+        assert deltas["A"].mips_b < 0.8 * deltas["A"].mips_a
+        assert deltas["B"].mips_b == pytest.approx(deltas["B"].mips_a, rel=0.25)
+
+    def test_table_renders(self, base_report, slowed_report):
+        phases = segment_iteration(
+            base_report.trace, base_report.instances, base_report.samples
+        )
+        text = compare_reports(base_report, slowed_report, phases).to_table()
+        assert "Folded comparison" in text
+        assert "speedup" in text
+
+    def test_without_phases(self, base_report, slowed_report):
+        cmp = compare_reports(base_report, slowed_report)
+        assert cmp.phase_deltas == []
+        assert cmp.mips_ratio.size == 201

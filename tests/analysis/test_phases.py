@@ -1,0 +1,75 @@
+"""Tests for phase segmentation (A a1 a2 B C D d1 d2 E)."""
+
+import pytest
+
+from repro.analysis.phases import IterationPhases, Phase, segment_iteration
+
+
+class TestPhase:
+    def test_properties(self):
+        p = Phase("A", "ComputeSYMGS_ref", 0.0, 0.3)
+        assert p.width == pytest.approx(0.3)
+        assert p.contains(0.1)
+        assert not p.contains(0.3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Phase("A", "r", 0.5, 0.5)
+
+
+class TestSegmentIteration:
+    @pytest.fixture(scope="class")
+    def phases(self, hpcg_report):
+        return segment_iteration(
+            hpcg_report.trace, hpcg_report.instances, hpcg_report.samples
+        )
+
+    def test_major_sequence(self, phases):
+        assert phases.major_sequence() == ["A", "B", "C", "D", "E"]
+
+    def test_phases_ordered_and_disjoint(self, phases):
+        majors = [p for p in phases if len(p.label) == 1]
+        for prev, nxt in zip(majors, majors[1:]):
+            assert prev.hi <= nxt.lo + 1e-9
+
+    def test_sweep_sublabels(self, phases):
+        labels = phases.labels()
+        for sub in ("a1", "a2", "d1", "d2"):
+            assert sub in labels
+        a1, a2 = phases.get("a1"), phases.get("a2")
+        a = phases.get("A")
+        assert a1.lo == pytest.approx(a.lo)
+        assert a2.hi == pytest.approx(a.hi)
+        assert a1.hi == pytest.approx(a2.lo)
+        # Forward and backward sweeps take comparable time.
+        assert 0.5 < a1.width / a2.width < 2.0
+
+    def test_regions_labelled_correctly(self, phases):
+        assert phases.get("A").region == "ComputeSYMGS_ref"
+        assert phases.get("B").region == "ComputeSPMV_ref"
+        assert phases.get("C").region == "ComputeMG_ref"
+        assert phases.get("E").region == "ComputeSPMV_ref"
+
+    def test_smoothing_dominates_iteration(self, phases):
+        """SYMGS (A+D) is the bulk of the iteration, like the figure."""
+        total = phases.get("A").width + phases.get("D").width
+        assert total > 0.4
+
+    def test_c_phase_is_small(self, phases):
+        """The coarse recursion is short (coarse grids are 8x smaller)."""
+        assert phases.get("C").width < phases.get("A").width
+
+    def test_get_missing(self, phases):
+        with pytest.raises(KeyError):
+            phases.get("Z")
+
+    def test_symmetry_A_D(self, phases):
+        """Pre- and post-smoothing do identical work."""
+        assert phases.get("A").width == pytest.approx(
+            phases.get("D").width, rel=0.1
+        )
+
+    def test_b_e_same_kernel_same_width(self, phases):
+        assert phases.get("B").width == pytest.approx(
+            phases.get("E").width, rel=0.15
+        )

@@ -1,0 +1,129 @@
+"""Tests for roofline positioning and per-region progression."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.regions import region_progress
+from repro.analysis.roofline import MachineRoof, roofline
+from repro.folding.report import fold_trace
+from repro.pipeline import Session
+from repro.workloads import HpcgWorkload
+
+from tests.conftest import hpcg_session_config, small_hpcg_config
+
+
+@pytest.fixture(scope="module")
+def bound_setup():
+    """A memory-bound run so roofline points are physically meaningful."""
+    session = Session(hpcg_session_config(seed=41, load_period=2000,
+                                          store_period=2000))
+    trace = session.run(HpcgWorkload(small_hpcg_config(nx=48, n_iterations=3)))
+    report = fold_trace(trace)
+    from repro.analysis.phases import segment_iteration
+
+    phases = segment_iteration(trace, report.instances, report.samples)
+    return trace, report, phases
+
+
+class TestMachineRoof:
+    def test_ridge(self):
+        roof = MachineRoof(peak_gflops=40.0, peak_bandwidth_GBps=8.0)
+        assert roof.ridge_intensity == pytest.approx(5.0)
+        assert roof.bound_gflops(1.0) == pytest.approx(8.0)
+        assert roof.bound_gflops(100.0) == pytest.approx(40.0)
+
+    def test_rejects_bad_ceilings(self):
+        with pytest.raises(ValueError):
+            MachineRoof(peak_gflops=0)
+
+
+class TestRoofline:
+    def test_hpcg_is_memory_bound(self, bound_setup):
+        _, report, phases = bound_setup
+        rl = roofline(report, phases)
+        for label in ("a1", "a2", "B", "E"):
+            p = rl.point(label)
+            # 27-pt stencil over 608 B/row: intensity ~0.1 flops/byte.
+            assert p.intensity < 0.5, label
+            assert p.intensity < rl.roof.ridge_intensity
+            # Achieved never beats the roof.
+            assert p.gflops <= p.bound_gflops * 1.05
+
+    def test_intensity_matches_hand_count(self, bound_setup):
+        _, report, phases = bound_setup
+        rl = roofline(report, phases)
+        # SYMGS: 2*27 flops per row; traffic ~row_stride + rhs + x misses.
+        p = rl.point("a1")
+        assert p.intensity == pytest.approx(54.0 / 650.0, rel=0.4)
+
+    def test_bandwidth_positive(self, bound_setup):
+        _, report, phases = bound_setup
+        rl = roofline(report, phases)
+        assert all(p.bandwidth_GBps > 0 for p in rl.points)
+
+    def test_dot_kernels_have_no_flops_ceiling_issue(self, bound_setup):
+        _, report, phases = bound_setup
+        rl = roofline(report, phases)
+        text = rl.to_table()
+        assert "ridge point" in text
+        assert "memory" in text
+
+    def test_missing_phase(self, bound_setup):
+        _, report, phases = bound_setup
+        rl = roofline(report, phases)
+        with pytest.raises(KeyError):
+            rl.point("Z")
+
+
+class TestRegionProgress:
+    def test_kernels_summarized(self, hpcg_trace):
+        report = region_progress(hpcg_trace)
+        names = {r.name for r in report}
+        assert "ComputeSYMGS_ref" in names
+        assert "ComputeSPMV_ref" in names
+
+    def test_symgs_mixed_spmv_forward(self, bound_setup):
+        trace, _, _ = bound_setup
+        report = region_progress(trace)
+        # SYMGS folds fwd+bwd sweeps together: no single direction.
+        assert report.region("ComputeSYMGS_ref").dominant_direction == 0
+        assert report.region("ComputeSPMV_ref").direction_name == "forward"
+
+    def test_footprint_scale(self, bound_setup):
+        trace, _, _ = bound_setup
+        report = region_progress(trace)
+        # Sampled-page footprint is a lower bound; at this sampling
+        # period SPMV's 67 MB matrix shows up as tens of MB of touched
+        # pages, far beyond the dot kernels' vector footprints.
+        fp = report.region("ComputeSPMV_ref").footprint_bytes
+        assert fp > 20e6
+        assert fp > 10 * report.region("ComputeDotProduct_ref").footprint_bytes
+
+    def test_load_fractions(self, bound_setup):
+        trace, _, _ = bound_setup
+        report = region_progress(trace)
+        # WAXPBY writes one of three streams.
+        wax = report.region("ComputeWAXPBY_ref")
+        assert 0.5 < wax.load_fraction < 0.85
+        # Dot products are load-only.
+        dot = report.region("ComputeDotProduct_ref")
+        assert dot.load_fraction > 0.98
+
+    def test_ordering_by_total_time(self, hpcg_trace):
+        report = region_progress(hpcg_trace)
+        totals = [r.mean_duration_ns * r.occurrences for r in report]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_table_renders(self, hpcg_trace):
+        text = region_progress(hpcg_trace).to_table()
+        assert "Progression on code regions" in text
+        assert "sweep" in text
+
+    def test_missing_region_lookup(self, hpcg_trace):
+        report = region_progress(hpcg_trace)
+        with pytest.raises(KeyError):
+            report.region("nonexistent")
+
+    def test_unknown_region_skipped(self, hpcg_trace):
+        report = region_progress(hpcg_trace, regions=("NotARegion",))
+        assert len(report) == 0

@@ -1,0 +1,64 @@
+"""Tests for dominant data-stream identification."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.phases import segment_iteration
+from repro.analysis.streams import identify_streams
+from repro.workloads.hpcg.problem import MATRIX_GROUP_NAME
+
+
+@pytest.fixture(scope="module")
+def streams(hpcg_report, hpcg_figure):
+    return identify_streams(hpcg_report, hpcg_figure.phases)
+
+
+class TestIdentifyStreams:
+    def test_matrix_is_dominant(self, streams):
+        assert streams.streams[0].name == MATRIX_GROUP_NAME
+        assert streams.streams[0].share > 0.4
+
+    def test_shares_sum_below_one(self, streams):
+        total = sum(s.share for s in streams)
+        assert 0.9 < total <= 1.0 + 1e-9
+
+    def test_activity_integrates_to_share(self, streams):
+        for s in streams.dominant(3):
+            integral = np.trapezoid(s.activity, s.sigma_grid)
+            assert integral == pytest.approx(s.share, rel=0.10)
+
+    def test_matrix_is_steady_coarse_streams_bursty(self, streams):
+        matrix = streams.stream(MATRIX_GROUP_NAME)
+        assert not matrix.is_bursty()
+        coarse = streams.stream(MATRIX_GROUP_NAME + "@L1")
+        assert coarse.is_bursty()
+
+    def test_coarse_matrix_active_in_C(self, streams, hpcg_figure):
+        coarse = streams.stream(MATRIX_GROUP_NAME + "@L1")
+        c = hpcg_figure.phases.get("C")
+        lo, hi = coarse.active_window()
+        assert lo >= c.lo - 0.05 and hi <= c.hi + 0.05
+
+    def test_phase_share(self, streams):
+        coarse = streams.stream(MATRIX_GROUP_NAME + "@L1")
+        assert coarse.phase_share["C"] > 0.9
+
+    def test_matrix_read_only(self, streams):
+        assert streams.stream(MATRIX_GROUP_NAME).load_fraction == 1.0
+
+    def test_table_renders(self, streams):
+        text = streams.to_table()
+        assert MATRIX_GROUP_NAME in text
+        assert "steady" in text and "bursty" in text
+
+    def test_missing_stream_raises(self, streams):
+        with pytest.raises(KeyError):
+            streams.stream("nope")
+
+    def test_min_samples_filter(self, hpcg_report):
+        few = identify_streams(hpcg_report, min_samples=10**9)
+        assert len(few) == 0
+
+    def test_without_phases(self, hpcg_report):
+        streams = identify_streams(hpcg_report)
+        assert streams.streams[0].phase_share == {}

@@ -1,0 +1,59 @@
+"""Shared fixtures: prebuilt sessions and folded HPCG reports.
+
+Expensive artifacts (traced + folded HPCG runs) are session-scoped so
+the analysis/folding test modules share one simulation.
+"""
+
+import pytest
+
+from repro.analysis.figures import build_figure1
+from repro.extrae.tracer import TracerConfig
+from repro.folding.report import fold_trace
+from repro.pipeline import Session, SessionConfig
+from repro.workloads import HpcgConfig, HpcgWorkload
+
+
+def small_hpcg_config(n_iterations=4, **kwargs):
+    """A fast HPCG configuration with the full phase structure.
+
+    Passing ``nx`` alone makes a cube (ny/nz follow unless overridden).
+    """
+    defaults = dict(
+        nx=16, ny=16, nz=16, nlevels=2, n_iterations=n_iterations,
+        blocks_per_kernel=4, rank=1, npz=3,
+    )
+    if "nx" in kwargs:
+        defaults["ny"] = defaults["nz"] = kwargs["nx"]
+    defaults.update(kwargs)
+    return HpcgConfig(**defaults)
+
+
+def hpcg_session_config(seed=0, load_period=500, store_period=500):
+    return SessionConfig(
+        seed=seed,
+        engine="analytic",
+        tracer=TracerConfig(
+            load_period=load_period,
+            store_period=store_period,
+            randomization=0.05,
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def hpcg_trace():
+    """A finalized small HPCG trace (analytic engine)."""
+    session = Session(hpcg_session_config())
+    return session.run(HpcgWorkload(small_hpcg_config()))
+
+
+@pytest.fixture(scope="session")
+def hpcg_report(hpcg_trace):
+    """The folded three-direction report of the shared trace."""
+    return fold_trace(hpcg_trace)
+
+
+@pytest.fixture(scope="session")
+def hpcg_figure(hpcg_report):
+    """The full Figure-1 analysis of the shared trace."""
+    return build_figure1(hpcg_report)

@@ -1,0 +1,165 @@
+"""Tests for allocation interception, thresholds and grouping."""
+
+import numpy as np
+import pytest
+
+from repro.extrae.memalloc import AllocationInterceptor, ObjectRecord
+from repro.vmem.allocator import Allocator
+from repro.vmem.callstack import CallStack
+from repro.vmem.layout import AddressSpace
+
+SITE_108 = CallStack.single("GenerateProblem", "GenerateProblem_ref.cpp", 108)
+SITE_143 = CallStack.single("GenerateProblem", "GenerateProblem_ref.cpp", 143)
+
+
+def make(threshold=1024, seed=0):
+    alloc = Allocator(AddressSpace(np.random.default_rng(seed)))
+    icpt = AllocationInterceptor(alloc, threshold_bytes=threshold)
+    return alloc, icpt
+
+
+class TestObjectRecord:
+    def test_span(self):
+        r = ObjectRecord("x", 100, 200, "dynamic", 100)
+        assert r.span == 100
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            ObjectRecord("x", 100, 100, "dynamic", 0)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            ObjectRecord("x", 0, 1, "mystery", 1)
+
+
+class TestThreshold:
+    def test_large_allocation_tracked(self):
+        alloc, icpt = make(threshold=1024)
+        p = alloc.malloc(4096, SITE_108)
+        assert len(icpt.records) == 1
+        rec = icpt.records[0]
+        assert rec.kind == "dynamic"
+        assert rec.start == p
+        assert rec.bytes_user == 4096
+        assert rec.name == "108_GenerateProblem_ref.cpp"
+        assert icpt.stats.tracked == 1
+
+    def test_small_allocation_untracked(self):
+        """The paper's preliminary observation: 100s-of-bytes
+        allocations fall below the threshold."""
+        alloc, icpt = make(threshold=1024)
+        alloc.malloc(216, SITE_108)
+        assert icpt.records == []
+        assert icpt.stats.untracked == 1
+        assert icpt.stats.untracked_bytes == 216
+
+    def test_threshold_boundary(self):
+        alloc, icpt = make(threshold=1024)
+        alloc.malloc(1024, SITE_108)
+        assert len(icpt.records) == 1
+
+    def test_site_serial_naming(self):
+        alloc, icpt = make(threshold=100)
+        alloc.malloc(200, SITE_108)
+        alloc.malloc(200, SITE_108)
+        names = [r.name for r in icpt.records]
+        assert names == [
+            "108_GenerateProblem_ref.cpp",
+            "108_GenerateProblem_ref.cpp#1",
+        ]
+
+    def test_anonymous_site(self):
+        alloc, icpt = make(threshold=10)
+        alloc.malloc(100)
+        assert icpt.records[0].name == "unknown"
+
+    def test_rejects_negative_threshold(self):
+        alloc = Allocator(AddressSpace(np.random.default_rng(0)))
+        with pytest.raises(ValueError):
+            AllocationInterceptor(alloc, threshold_bytes=-1)
+
+
+class TestRuns:
+    def test_untracked_small_run(self):
+        alloc, icpt = make(threshold=1024)
+        alloc.malloc_run(1000, 216, SITE_108)
+        assert icpt.records == []
+        assert icpt.stats.untracked == 1000
+        assert icpt.stats.untracked_bytes == 216_000
+
+    def test_run_of_large_chunks_tracked_as_group(self):
+        alloc, icpt = make(threshold=1024)
+        run = alloc.malloc_run(10, 2048, SITE_108)
+        assert len(icpt.records) == 1
+        rec = icpt.records[0]
+        assert rec.kind == "group"
+        assert rec.n_allocations == 10
+        assert rec.start == run.base
+        assert rec.end == run.end
+
+
+class TestGrouping:
+    def test_wrap_small_allocations(self):
+        """The paper's fix: wrapped allocations become one object even
+        below the threshold."""
+        alloc, icpt = make(threshold=1024)
+        icpt.begin_group("124_GenerateProblem_ref.cpp")
+        first = alloc.malloc(216, SITE_108)
+        for _ in range(99):
+            alloc.malloc(216, SITE_108)
+        rec = icpt.end_group()
+        assert rec is not None
+        assert rec.kind == "group"
+        assert rec.name == "124_GenerateProblem_ref.cpp"
+        assert rec.start == first
+        assert rec.n_allocations == 100
+        assert rec.bytes_user == 21_600
+        assert rec.span >= rec.bytes_user  # headers/padding inflate the span
+        assert icpt.stats.grouped == 100
+
+    def test_wrap_run(self):
+        alloc, icpt = make(threshold=1024)
+        icpt.begin_group("g")
+        run = alloc.malloc_run(1000, 216, SITE_108)
+        rec = icpt.end_group()
+        assert rec.n_allocations == 1000
+        assert rec.start == run.base and rec.end == run.end
+
+    def test_empty_group_returns_none(self):
+        _, icpt = make()
+        icpt.begin_group("g")
+        assert icpt.end_group() is None
+
+    def test_nested_group_rejected(self):
+        _, icpt = make()
+        icpt.begin_group("a")
+        with pytest.raises(RuntimeError):
+            icpt.begin_group("b")
+
+    def test_end_without_begin_rejected(self):
+        _, icpt = make()
+        with pytest.raises(RuntimeError):
+            icpt.end_group()
+
+    def test_group_absorbs_multiple_sites(self):
+        alloc, icpt = make(threshold=1024)
+        icpt.begin_group("both")
+        alloc.malloc(216, SITE_108)
+        alloc.malloc(72, SITE_143)
+        rec = icpt.end_group()
+        assert rec.bytes_user == 288
+        assert rec.site == SITE_108  # first site wins
+
+
+class TestFreeAndDetach:
+    def test_free_keeps_historical_record(self):
+        alloc, icpt = make(threshold=100)
+        p = alloc.malloc(4096, SITE_108)
+        alloc.free(p)
+        assert len(icpt.records) == 1  # still resolvable for old samples
+
+    def test_detach_stops_observing(self):
+        alloc, icpt = make(threshold=100)
+        icpt.detach()
+        alloc.malloc(4096, SITE_108)
+        assert icpt.records == []

@@ -1,0 +1,123 @@
+"""Tests for the overhead model and the Paraver export."""
+
+import re
+
+import pytest
+
+from repro.extrae.overhead import OverheadModel, estimate_overhead
+from repro.extrae.paraver import (
+    TYPE_ITERATION,
+    TYPE_REGION,
+    TYPE_SAMPLE_ADDRESS,
+    export_paraver,
+)
+
+
+class TestOverheadModel:
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            OverheadModel(sample_cost_ns=-1)
+
+    def test_estimate_hpcg(self, hpcg_trace):
+        report = estimate_overhead(hpcg_trace)
+        assert report.n_samples == hpcg_trace.metadata["samples_emitted"]
+        assert report.sampling_overhead_ns > 0
+        assert report.instrumented_overhead_ns > report.sampling_overhead_ns
+        assert report.advantage > 1.0
+
+    def test_dilation_scales_with_sample_cost(self, hpcg_trace):
+        cheap = estimate_overhead(hpcg_trace, OverheadModel(sample_cost_ns=100.0))
+        expensive = estimate_overhead(hpcg_trace, OverheadModel(sample_cost_ns=10_000.0))
+        assert expensive.sampling_dilation > cheap.sampling_dilation
+
+    def test_rotation_count(self, hpcg_trace):
+        report = estimate_overhead(hpcg_trace)
+        md = hpcg_trace.metadata
+        expected = int(md["duration_ns"] / md["mpx_quantum_ns"])
+        assert report.n_mux_rotations == expected
+
+    def test_table_renders(self, hpcg_trace):
+        text = estimate_overhead(hpcg_trace).to_table()
+        assert "execution-phase dilation" in text
+        assert "advantage" in text
+
+    def test_alloc_overhead_separated(self, hpcg_trace):
+        report = estimate_overhead(hpcg_trace)
+        assert report.alloc_overhead_ns > 0
+        assert report.setup_dilation > 0
+        # Execution-phase overhead excludes the allocation hooks.
+        model = OverheadModel()
+        expected = (
+            report.n_samples * model.sample_cost_ns
+            + report.n_events * model.event_cost_ns
+            + report.n_mux_rotations * model.mux_rotation_cost_ns
+        )
+        assert report.sampling_overhead_ns == pytest.approx(expected)
+
+
+class TestParaverExport:
+    @pytest.fixture(scope="class")
+    def exported(self, hpcg_trace, tmp_path_factory):
+        base = tmp_path_factory.mktemp("prv") / "hpcg"
+        return export_paraver(hpcg_trace, base), hpcg_trace
+
+    def test_three_files(self, exported):
+        (prv, pcf, row), _ = exported
+        assert prv.exists() and pcf.exists() and row.exists()
+
+    def test_header_format(self, exported):
+        (prv, _, _), trace = exported
+        header = prv.read_text().splitlines()[0]
+        m = re.match(r"#Paraver \(.*\):(\d+)_ns:1\(1\):1:1\(1:1\)", header)
+        assert m is not None
+        assert int(m.group(1)) >= int(trace.duration_ns())
+
+    def test_record_syntax(self, exported):
+        (prv, _, _), _ = exported
+        lines = prv.read_text().splitlines()[1:]
+        assert lines
+        for line in lines[:500]:
+            kind = line.split(":")[0]
+            assert kind in ("1", "2"), line
+            fields = line.split(":")
+            if kind == "1":
+                assert len(fields) == 8
+            else:
+                assert (len(fields) - 6) % 2 == 0  # type:value pairs
+
+    def test_records_time_sorted(self, exported):
+        (prv, _, _), _ = exported
+        times = []
+        for line in prv.read_text().splitlines()[1:]:
+            fields = line.split(":")
+            times.append(int(fields[5]))
+        assert times == sorted(times)
+
+    def test_sample_count_matches(self, exported):
+        (prv, _, _), trace = exported
+        needle = f":{TYPE_SAMPLE_ADDRESS}:"
+        n = sum(needle in line for line in prv.read_text().splitlines())
+        assert n == trace.n_samples
+
+    def test_iteration_events(self, exported):
+        (prv, _, _), trace = exported
+        needle = f":{TYPE_ITERATION}:"
+        n = sum(needle in line for line in prv.read_text().splitlines())
+        assert n == len(trace.iteration_times())
+
+    def test_pcf_names_regions_and_sources(self, exported):
+        (_, pcf, _), _ = exported
+        text = pcf.read_text()
+        assert "ComputeSYMGS_ref" in text
+        assert "DRAM" in text
+        assert str(TYPE_REGION) in text
+
+    def test_state_records_match_region_count(self, exported):
+        (prv, _, _), trace = exported
+        n_states = sum(
+            line.startswith("1:") for line in prv.read_text().splitlines()[1:]
+        )
+        from repro.extrae.events import EventKind
+
+        n_exits = sum(1 for e in trace.events if e.kind == EventKind.REGION_EXIT)
+        assert n_states == n_exits

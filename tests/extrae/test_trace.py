@@ -1,0 +1,126 @@
+"""Tests for the trace container and its serialization."""
+
+import numpy as np
+import pytest
+
+from repro.extrae.events import EventKind, TraceEvent
+from repro.extrae.memalloc import ObjectRecord
+from repro.extrae.trace import SampleTable, Trace
+from repro.memsim.patterns import MemOp, SequentialPattern
+from repro.simproc.isa import KernelBatch
+from repro.vmem.callstack import CallStack
+
+from .conftest import build_session
+
+
+def traced_session():
+    tracer = build_session()
+    site = CallStack.single("gen", "GenerateProblem_ref.cpp", 108)
+    tracer.allocator.malloc(1 << 20, site)
+    with tracer.region("kernel"):
+        for i in range(3):
+            tracer.iteration()
+            tracer.execute(
+                KernelBatch(
+                    "k",
+                    (SequentialPattern(i << 22, 2000, 8),),
+                    instructions=8000,
+                    branches=100,
+                )
+            )
+    return tracer, tracer.finalize()
+
+
+class TestSampleTable:
+    def test_empty(self):
+        t = SampleTable.empty()
+        assert t.n == 0
+        assert t.address.dtype == np.uint64
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(ValueError):
+            SampleTable({"time_ns": np.zeros(1)})
+
+    def test_inconsistent_lengths_rejected(self):
+        cols = SampleTable.empty().columns()
+        cols["address"] = np.zeros(3, dtype=np.uint64)
+        with pytest.raises(ValueError):
+            SampleTable(cols)
+
+    def test_select(self):
+        _, trace = traced_session()
+        table = trace.sample_table()
+        half = table.select(table.time_ns < np.median(table.time_ns))
+        assert 0 < half.n < table.n
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            SampleTable.empty().nope
+
+
+class TestTraceEvents:
+    def test_out_of_order_event_rejected(self):
+        trace = Trace()
+        trace.add_event(TraceEvent(100.0, EventKind.MARKER, "a"))
+        with pytest.raises(ValueError):
+            trace.add_event(TraceEvent(50.0, EventKind.MARKER, "b"))
+
+    def test_unmatched_region_exit_rejected(self):
+        trace = Trace()
+        trace.add_event(TraceEvent(1.0, EventKind.REGION_EXIT, "r"))
+        with pytest.raises(ValueError):
+            trace.region_intervals("r")
+
+    def test_unmatched_region_enter_rejected(self):
+        trace = Trace()
+        trace.add_event(TraceEvent(1.0, EventKind.REGION_ENTER, "r"))
+        with pytest.raises(ValueError):
+            trace.region_intervals("r")
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEvent(-1.0, EventKind.MARKER)
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_everything(self, tmp_path):
+        tracer, trace = traced_session()
+        path = trace.save(tmp_path / "run.bsctrace")
+        loaded = Trace.load(path)
+
+        # Samples.
+        orig = trace.sample_table()
+        got = loaded.sample_table()
+        assert got.n == orig.n
+        np.testing.assert_allclose(got.time_ns, orig.time_ns)
+        np.testing.assert_array_equal(got.address, orig.address)
+        np.testing.assert_array_equal(got.source, orig.source)
+        np.testing.assert_allclose(got.instructions, orig.instructions)
+
+        # Events.
+        assert len(loaded.events) == len(trace.events)
+        assert [e.kind for e in loaded.events] == [e.kind for e in trace.events]
+
+        # Objects (incl. call-stack sites).
+        assert len(loaded.objects) == len(trace.objects)
+        by_name = {o.name: o for o in loaded.objects}
+        orig_dyn = next(o for o in trace.objects if o.kind == "dynamic")
+        got_dyn = by_name[orig_dyn.name]
+        assert got_dyn.start == orig_dyn.start
+        assert got_dyn.site == orig_dyn.site
+
+        # Call-stack and label tables.
+        assert loaded.labels == trace.labels
+        assert loaded.callstack(0) == trace.callstack(0)
+
+        # Metadata.
+        assert loaded.metadata["samples_emitted"] == trace.metadata["samples_emitted"]
+
+    def test_loaded_trace_len(self, tmp_path):
+        _, trace = traced_session()
+        loaded = Trace.load(trace.save(tmp_path / "t.bsctrace"))
+        assert len(loaded) == len(trace) > 0
+
+    def test_duration(self):
+        _, trace = traced_session()
+        assert trace.duration_ns() > 0

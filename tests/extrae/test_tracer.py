@@ -1,0 +1,168 @@
+"""Tests for the tracer: regions, sampling, wrapping, finalize."""
+
+import numpy as np
+import pytest
+
+from repro.extrae.events import EventKind
+from repro.extrae.tracer import TracerConfig
+from repro.memsim.patterns import MemOp, SequentialPattern
+from repro.simproc.isa import KernelBatch
+from repro.vmem.callstack import CallStack, Frame
+
+from .conftest import build_session
+
+SITE = CallStack.single("GenerateProblem", "GenerateProblem_ref.cpp", 108)
+
+
+def batch(n=1000, start=0, op=MemOp.LOAD, label="k", source=None):
+    return KernelBatch(
+        label,
+        (SequentialPattern(start, n, 8, op=op),),
+        instructions=4 * n,
+        branches=n // 10,
+        source=source,
+    )
+
+
+class TestRegions:
+    def test_region_events(self, tracer):
+        with tracer.region("ComputeSPMV_ref", Frame("ComputeSPMV_ref", "ComputeSPMV_ref.cpp", 60)):
+            tracer.execute(batch())
+        kinds = [e.kind for e in tracer.trace.events]
+        assert kinds == [EventKind.REGION_ENTER, EventKind.REGION_EXIT]
+        assert tracer.trace.events[0].payload["line"] == 60
+
+    def test_region_intervals(self, tracer):
+        with tracer.region("r"):
+            tracer.execute(batch())
+        with tracer.region("r"):
+            tracer.execute(batch())
+        ivs = tracer.trace.region_intervals("r")
+        assert len(ivs) == 2
+        assert all(t0 < t1 for t0, t1 in ivs)
+        assert ivs[0][1] <= ivs[1][0]
+
+    def test_nested_regions_stack(self, tracer):
+        assert tracer.current_stack.depth == 1
+        with tracer.region("outer"):
+            assert tracer.current_stack.depth == 2
+            with tracer.region("inner"):
+                assert tracer.current_stack.depth == 3
+            assert tracer.current_stack.depth == 2
+        assert tracer.current_stack.depth == 1
+
+    def test_recursive_region_intervals(self, tracer):
+        with tracer.region("mg"):
+            tracer.execute(batch())
+            with tracer.region("mg"):
+                tracer.execute(batch())
+        ivs = tracer.trace.region_intervals("mg")
+        assert len(ivs) == 2
+        # The inner interval is contained in the outer one.
+        inner, outer = ivs[0], ivs[1]
+        if inner[0] < outer[0]:
+            inner, outer = outer, inner
+        assert outer[0] <= inner[0] and inner[1] <= outer[1]
+
+    def test_iteration_markers(self, tracer):
+        for _ in range(3):
+            tracer.iteration("cg")
+            tracer.execute(batch())
+        assert len(tracer.trace.iteration_times("cg")) == 3
+
+    def test_marker(self, tracer):
+        tracer.marker("phase", detail=42)
+        ev = tracer.trace.events[0]
+        assert ev.kind == EventKind.MARKER
+        assert ev.payload["detail"] == 42
+
+
+class TestSampling:
+    def test_samples_annotated_with_stack(self, tracer):
+        frame = Frame("ComputeSYMGS_ref", "ComputeSYMGS_ref.cpp", 84)
+        with tracer.region("ComputeSYMGS_ref", frame):
+            tracer.execute(batch())
+        table = tracer.trace.sample_table()
+        assert table.n > 0
+        stacks = {tracer.trace.callstack(int(i)) for i in np.unique(table.callstack_id)}
+        assert all(s.frames[1] == frame for s in stacks)
+
+    def test_batch_source_extends_stack(self, tracer):
+        inner = Frame("spmv_loop", "ComputeSPMV_ref.cpp", 62)
+        tracer.execute(batch(source=inner))
+        table = tracer.trace.sample_table()
+        cs = tracer.trace.callstack(int(table.callstack_id[0]))
+        assert cs.leaf == inner
+
+    def test_sample_table_time_sorted(self, tracer):
+        for _ in range(5):
+            tracer.execute(batch())
+        t = tracer.trace.sample_table().time_ns
+        assert (np.diff(t) >= 0).all()
+
+    def test_label_ids(self, tracer):
+        tracer.execute(batch(label="a"))
+        tracer.execute(batch(label="b", start=1 << 20))
+        table = tracer.trace.sample_table()
+        labels = {tracer.trace.label(int(i)) for i in np.unique(table.label_id)}
+        assert labels == {"a", "b"}
+
+
+class TestWrapAllocations:
+    def test_wrap_creates_group_and_events(self, tracer):
+        with tracer.wrap_allocations("124_GenerateProblem_ref.cpp"):
+            for _ in range(10):
+                tracer.allocator.malloc(216, SITE)
+        kinds = [e.kind for e in tracer.trace.events]
+        assert kinds == [EventKind.GROUP_BEGIN, EventKind.GROUP_END]
+        assert tracer.trace.events[1].payload["n_allocations"] == 10
+        assert len(tracer.interceptor.records) == 1
+
+    def test_empty_wrap(self, tracer):
+        with tracer.wrap_allocations("nothing"):
+            pass
+        assert tracer.trace.events[1].payload == {}
+
+
+class TestFinalize:
+    def test_finalize_collects_objects_and_metadata(self, tracer):
+        tracer.image.add_symbol("global_table", 4096)
+        tracer.allocator.malloc(1 << 20, SITE)
+        with tracer.wrap_allocations("grp"):
+            tracer.allocator.malloc(100, SITE)
+        tracer.execute(batch())
+        trace = tracer.finalize()
+        kinds = sorted(o.kind for o in trace.objects)
+        assert kinds == ["dynamic", "group", "static"]
+        assert trace.metadata["allocs_tracked"] == 1
+        assert trace.metadata["allocs_grouped"] == 1
+        assert trace.metadata["samples_emitted"] > 0
+        assert trace.metadata["duration_ns"] > 0
+
+    def test_finalize_twice_rejected(self, tracer):
+        tracer.finalize()
+        with pytest.raises(RuntimeError):
+            tracer.finalize()
+        with pytest.raises(RuntimeError):
+            tracer.execute(batch())
+
+    def test_finalize_with_open_group_rejected(self, tracer):
+        tracer.interceptor.begin_group("g")
+        with pytest.raises(RuntimeError):
+            tracer.finalize()
+
+
+class TestTracerConfig:
+    def test_build_pebs_ops(self):
+        cfg = TracerConfig(sample_stores=False)
+        pebs = cfg.build_pebs(np.random.default_rng(0))
+        assert MemOp.LOAD in pebs.configs
+        assert MemOp.STORE not in pebs.configs
+
+    def test_build_multiplex_modes(self):
+        rotating = TracerConfig(sample_stores=True, multiplex=True).build_multiplex()
+        assert len(rotating.groups) == 2
+        combined = TracerConfig(sample_stores=True, multiplex=False).build_multiplex()
+        assert len(combined.groups) == 1
+        loads_only = TracerConfig(sample_stores=False).build_multiplex()
+        assert loads_only.duty_cycle(MemOp.STORE) == 0.0

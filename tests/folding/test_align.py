@@ -1,0 +1,191 @@
+"""Tests for piecewise (control-point) aligned folding."""
+
+import numpy as np
+import pytest
+
+from repro.extrae.events import EventKind, TraceEvent
+from repro.extrae.trace import SampleTable, Trace
+from repro.folding.align import TimeWarp, build_warp
+from repro.folding.detect import FoldInstances, instances_from_iterations
+from repro.folding.fold import fold_samples
+
+
+class TestTimeWarp:
+    def test_linear_special_case(self):
+        warp = TimeWarp(
+            breaks_t=[np.array([0.0, 100.0])],
+            breaks_sigma=np.array([0.0, 1.0]),
+        )
+        np.testing.assert_allclose(
+            warp.sigma(0, np.array([0.0, 50.0, 100.0])), [0.0, 0.5, 1.0]
+        )
+
+    def test_piecewise_mapping(self):
+        # Instance spent 80% of its time reaching the midpoint control,
+        # which the reference places at sigma 0.5.
+        warp = TimeWarp(
+            breaks_t=[np.array([0.0, 80.0, 100.0])],
+            breaks_sigma=np.array([0.0, 0.5, 1.0]),
+        )
+        assert warp.sigma(0, np.array([80.0]))[0] == pytest.approx(0.5)
+        assert warp.sigma(0, np.array([40.0]))[0] == pytest.approx(0.25)
+        assert warp.sigma(0, np.array([90.0]))[0] == pytest.approx(0.75)
+
+    def test_rejects_mismatched_controls(self):
+        with pytest.raises(ValueError):
+            TimeWarp(
+                breaks_t=[np.array([0.0, 1.0, 2.0]), np.array([0.0, 2.0])],
+                breaks_sigma=np.array([0.0, 0.5, 1.0]),
+            )
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            TimeWarp(
+                breaks_t=[np.array([0.0, 5.0, 2.0])],
+                breaks_sigma=np.array([0.0, 0.5, 1.0]),
+            )
+
+
+def synthetic_trace(stretch_instance=1, stretch_factor=4.0):
+    """Two-phase iterations (phase boundary via region enter); one
+    instance's FIRST phase is stretched."""
+    trace = Trace()
+    cols = {k: [] for k in SampleTable.empty().columns()}
+    t = 0.0
+    boundaries = []
+    for i in range(4):
+        first = 50.0 * (stretch_factor if i == stretch_instance else 1.0)
+        second = 50.0
+        boundaries.append(t)
+        trace.add_event(TraceEvent(t, EventKind.ITERATION, "it"))
+        trace.add_event(TraceEvent(t, EventKind.REGION_ENTER, "phase1"))
+        trace.add_event(TraceEvent(t + first, EventKind.REGION_EXIT, "phase1"))
+        trace.add_event(TraceEvent(t + first, EventKind.REGION_ENTER, "phase2"))
+        # Samples: 10 in each phase, addresses encode the phase.
+        for k in range(10):
+            cols_time = t + first * (k + 0.5) / 10
+            _append_sample(cols, cols_time, 0x1000)
+        for k in range(10):
+            cols_time = t + first + second * (k + 0.5) / 10
+            _append_sample(cols, cols_time, 0x2000)
+        t += first + second
+        trace.add_event(TraceEvent(t, EventKind.REGION_EXIT, "phase2"))
+    trace.add_event(TraceEvent(t, EventKind.MARKER, "execution_phase_end"))
+    table = SampleTable(
+        {k: np.asarray(v, dtype=SampleTable.empty().columns()[k].dtype)
+         for k, v in cols.items()}
+    )
+    return trace, table
+
+
+def _append_sample(cols, t, addr):
+    defaults = {
+        "time_ns": t, "address": addr, "op": 0, "source": 5, "latency": 200.0,
+        "callstack_id": 0, "label_id": 0, "instructions": t, "cycles": t,
+    }
+    for k in cols:
+        cols[k].append(defaults.get(k, 0.0))
+
+
+class TestBuildWarp:
+    def test_controls_per_instance(self):
+        trace, _ = synthetic_trace()
+        inst = instances_from_iterations(trace, "it")
+        warp = build_warp(trace, inst, regions=("phase2",))
+        assert warp.n_instances == 4
+        assert warp.breaks_sigma.size == 3  # start, phase2 enter, end
+
+    def test_reference_position_is_mean(self):
+        trace, _ = synthetic_trace(stretch_factor=4.0)
+        inst = instances_from_iterations(trace, "it")
+        warp = build_warp(trace, inst, regions=("phase2",))
+        # Normalized phase boundary: 0.5 in 3 instances, 0.8 in one.
+        assert warp.breaks_sigma[1] == pytest.approx((3 * 0.5 + 0.8) / 4)
+
+    def test_mismatched_structure_rejected(self):
+        # Instance 0 has one phase2 enter, instance 1 has two.
+        trace = Trace()
+        trace.add_event(TraceEvent(0.0, EventKind.ITERATION, "it"))
+        trace.add_event(TraceEvent(50.0, EventKind.REGION_ENTER, "phase2"))
+        trace.add_event(TraceEvent(90.0, EventKind.REGION_EXIT, "phase2"))
+        trace.add_event(TraceEvent(100.0, EventKind.ITERATION, "it"))
+        trace.add_event(TraceEvent(120.0, EventKind.REGION_ENTER, "phase2"))
+        trace.add_event(TraceEvent(140.0, EventKind.REGION_EXIT, "phase2"))
+        trace.add_event(TraceEvent(160.0, EventKind.REGION_ENTER, "phase2"))
+        trace.add_event(TraceEvent(180.0, EventKind.REGION_EXIT, "phase2"))
+        trace.add_event(TraceEvent(200.0, EventKind.MARKER, "execution_phase_end"))
+        inst = instances_from_iterations(trace, "it")
+        with pytest.raises(ValueError):
+            build_warp(trace, inst, regions=("phase2",))
+
+
+class TestAlignedFolding:
+    def test_linear_fold_smears_stretched_instance(self):
+        trace, table = synthetic_trace(stretch_factor=4.0)
+        inst = instances_from_iterations(trace, "it")
+        folded = fold_samples(table, inst)
+        # In the stretched instance, phase-2 samples land at sigma>0.8
+        # while other instances put phase 2 at sigma>0.5: the phase-2
+        # sample sets overlap in address but not in sigma.
+        phase2 = folded.table.address == 0x2000
+        spread = folded.sigma[phase2].min()
+        assert spread < 0.55  # some instances start phase 2 at ~0.5
+
+        stretched = phase2 & (folded.instance == 1)
+        assert folded.sigma[stretched].min() > 0.75  # misaligned
+
+    def test_aligned_fold_restores_phase_boundaries(self):
+        trace, table = synthetic_trace(stretch_factor=4.0)
+        inst = instances_from_iterations(trace, "it")
+        warp = build_warp(trace, inst, regions=("phase2",))
+        folded = fold_samples(table, inst, warp=warp)
+        boundary = warp.breaks_sigma[1]
+        phase1 = folded.table.address == 0x1000
+        phase2 = folded.table.address == 0x2000
+        # Every instance's phase-1 samples sit below the boundary and
+        # phase-2 samples above it.
+        assert folded.sigma[phase1].max() < boundary
+        assert folded.sigma[phase2].min() > boundary
+
+    def test_aligned_fold_on_uniform_instances_matches_linear(self):
+        trace, table = synthetic_trace(stretch_factor=1.0)
+        inst = instances_from_iterations(trace, "it")
+        warp = build_warp(trace, inst, regions=("phase2",))
+        linear = fold_samples(table, inst)
+        aligned = fold_samples(table, inst, warp=warp)
+        np.testing.assert_allclose(aligned.sigma, linear.sigma, atol=1e-12)
+
+    def test_warp_instance_count_mismatch_rejected(self):
+        trace, table = synthetic_trace()
+        inst = instances_from_iterations(trace, "it")
+        warp = build_warp(trace, inst, regions=("phase2",))
+        fewer = FoldInstances("it", inst.intervals[:2])
+        with pytest.raises(ValueError):
+            fold_samples(table, fewer, warp=warp)
+
+    def test_hpcg_warp_end_to_end(self, hpcg_trace):
+        inst = instances_from_iterations(hpcg_trace)
+        warp = build_warp(hpcg_trace, inst)
+        folded = fold_samples(hpcg_trace.sample_table(), inst, warp=warp)
+        assert folded.n > 0
+        assert (folded.sigma >= 0).all() and (folded.sigma <= 1).all()
+        # Quiet iterations: alignment ~= linear.
+        linear = fold_samples(hpcg_trace.sample_table(), inst)
+        assert np.abs(folded.sigma - linear.sigma).max() < 0.02
+
+
+class TestFoldTraceAlignment:
+    def test_fold_trace_with_alignment(self, hpcg_trace):
+        from repro.folding.report import fold_trace
+
+        report = fold_trace(
+            hpcg_trace,
+            align_regions=("ComputeSYMGS_ref", "ComputeSPMV_ref",
+                           "ComputeMG_ref"),
+        )
+        assert report.samples.n > 0
+        # Quiet HPCG iterations: aligned analysis matches linear.
+        from repro.analysis.figures import build_figure1
+
+        fig = build_figure1(report)
+        assert fig.phases.major_sequence() == ["A", "B", "C", "D", "E"]

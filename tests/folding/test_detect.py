@@ -1,0 +1,116 @@
+"""Tests for fold-instance detection."""
+
+import pytest
+
+from repro.extrae.events import EventKind, TraceEvent
+from repro.extrae.trace import Trace
+from repro.folding.detect import (
+    FoldInstances,
+    instances_from_iterations,
+    instances_from_regions,
+)
+
+
+def trace_with_iterations(times, end=None, name="cg"):
+    trace = Trace()
+    for t in times:
+        trace.add_event(TraceEvent(t, EventKind.ITERATION, name))
+    if end is not None:
+        trace.add_event(TraceEvent(end, EventKind.MARKER, "execution_phase_end"))
+    return trace
+
+
+class TestFoldInstances:
+    def test_basic(self):
+        inst = FoldInstances("x", ((0.0, 10.0), (10.0, 20.0)))
+        assert inst.n == 2
+        assert inst.mean_duration_ns == 10.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FoldInstances("x", ())
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            FoldInstances("x", ((5.0, 5.0),))
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            FoldInstances("x", ((10.0, 20.0), (0.0, 5.0)))
+
+    def test_prune_outliers(self):
+        inst = FoldInstances(
+            "x", ((0, 10), (10, 20), (20, 31), (31, 95))  # last is 6x median
+        )
+        pruned = inst.prune_outliers(0.25)
+        assert pruned.n == 3
+        assert pruned.intervals[-1] == (20, 31)
+
+    def test_prune_keeps_all_when_uniform(self):
+        inst = FoldInstances("x", ((0, 10), (10, 20), (20, 30)))
+        assert inst.prune_outliers(0.1).n == 3
+
+
+class TestInstancesFromIterations:
+    def test_consecutive_markers(self):
+        trace = trace_with_iterations([0.0, 100.0, 200.0], end=300.0)
+        inst = instances_from_iterations(trace)
+        assert inst.intervals == ((0.0, 100.0), (100.0, 200.0), (200.0, 300.0))
+
+    def test_last_instance_ends_at_marker(self):
+        trace = trace_with_iterations([0.0, 100.0], end=150.0)
+        inst = instances_from_iterations(trace)
+        assert inst.intervals[-1] == (100.0, 150.0)
+
+    def test_without_end_marker_uses_trace_end(self):
+        trace = trace_with_iterations([0.0, 100.0])
+        trace.add_event(TraceEvent(180.0, EventKind.MARKER, "whatever"))
+        inst = instances_from_iterations(trace)
+        assert inst.intervals[-1] == (100.0, 180.0)
+
+    def test_name_filter(self):
+        trace = Trace()
+        trace.add_event(TraceEvent(0.0, EventKind.ITERATION, "inner"))
+        trace.add_event(TraceEvent(10.0, EventKind.ITERATION, "cg"))
+        trace.add_event(TraceEvent(20.0, EventKind.ITERATION, "cg"))
+        trace.add_event(TraceEvent(30.0, EventKind.MARKER, "execution_phase_end"))
+        inst = instances_from_iterations(trace, name="cg")
+        assert inst.n == 2
+        assert inst.intervals[0] == (10.0, 20.0)
+
+    def test_no_markers_rejected(self):
+        with pytest.raises(ValueError):
+            instances_from_iterations(Trace())
+
+    def test_hpcg_trace(self, hpcg_trace):
+        inst = instances_from_iterations(hpcg_trace)
+        assert inst.n == 4
+        durations = inst.durations_ns
+        assert durations.std() / durations.mean() < 0.1  # stable iterations
+
+
+class TestInstancesFromRegions:
+    def test_occurrences(self):
+        trace = Trace()
+        for t0 in (0.0, 100.0):
+            trace.add_event(TraceEvent(t0, EventKind.REGION_ENTER, "k"))
+            trace.add_event(TraceEvent(t0 + 50.0, EventKind.REGION_EXIT, "k"))
+        inst = instances_from_regions(trace, "k")
+        assert inst.intervals == ((0.0, 50.0), (100.0, 150.0))
+
+    def test_recursion_keeps_outermost(self):
+        trace = Trace()
+        trace.add_event(TraceEvent(0.0, EventKind.REGION_ENTER, "mg"))
+        trace.add_event(TraceEvent(10.0, EventKind.REGION_ENTER, "mg"))
+        trace.add_event(TraceEvent(20.0, EventKind.REGION_EXIT, "mg"))
+        trace.add_event(TraceEvent(30.0, EventKind.REGION_EXIT, "mg"))
+        inst = instances_from_regions(trace, "mg")
+        assert inst.intervals == ((0.0, 30.0),)
+
+    def test_missing_region_rejected(self):
+        with pytest.raises(ValueError):
+            instances_from_regions(Trace(), "nope")
+
+    def test_hpcg_symgs_regions(self, hpcg_trace):
+        inst = instances_from_regions(hpcg_trace, "ComputeSYMGS_ref")
+        assert inst.n == 3 * 4  # 3 SYMGS calls x 4 iterations

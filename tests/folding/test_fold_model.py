@@ -1,0 +1,142 @@
+"""Tests for sample projection and the folded counter model."""
+
+import numpy as np
+import pytest
+
+from repro.folding.detect import FoldInstances, instances_from_iterations
+from repro.folding.fold import fold_samples
+from repro.folding.model import fold_counters
+
+
+class TestFoldSamples:
+    def test_sigma_in_unit_interval(self, hpcg_trace):
+        inst = instances_from_iterations(hpcg_trace)
+        folded = fold_samples(hpcg_trace.sample_table(), inst)
+        assert folded.n > 0
+        assert (folded.sigma >= 0).all() and (folded.sigma < 1.0 + 1e-9).all()
+
+    def test_setup_samples_dropped(self, hpcg_trace):
+        inst = instances_from_iterations(hpcg_trace)
+        folded = fold_samples(hpcg_trace.sample_table(), inst)
+        t0 = inst.intervals[0][0]
+        table = hpcg_trace.sample_table()
+        n_before = int((table.time_ns < t0).sum())
+        assert n_before > 0  # setup really was sampled
+        assert folded.n == table.n - n_before - int(
+            (table.time_ns >= inst.intervals[-1][1]).sum()
+        )
+
+    def test_instance_assignment(self, hpcg_trace):
+        inst = instances_from_iterations(hpcg_trace)
+        folded = fold_samples(hpcg_trace.sample_table(), inst)
+        assert set(np.unique(folded.instance)) == set(range(inst.n))
+        # Every instance got a decent share of samples.
+        counts = np.bincount(folded.instance, minlength=inst.n)
+        assert counts.min() > 0.5 * counts.max()
+
+    def test_fractions_in_unit_interval(self, hpcg_trace):
+        inst = instances_from_iterations(hpcg_trace)
+        folded = fold_samples(hpcg_trace.sample_table(), inst)
+        for name, frac in folded.fractions.items():
+            assert (frac >= 0).all() and (frac <= 1).all(), name
+
+    def test_fractions_track_sigma(self, hpcg_trace):
+        """Cumulative instruction fraction correlates strongly with σ."""
+        inst = instances_from_iterations(hpcg_trace)
+        folded = fold_samples(hpcg_trace.sample_table(), inst)
+        r = np.corrcoef(folded.sigma, folded.fractions["instructions"])[0, 1]
+        assert r > 0.95
+
+    def test_totals_consistent(self, hpcg_trace):
+        inst = instances_from_iterations(hpcg_trace)
+        folded = fold_samples(hpcg_trace.sample_table(), inst)
+        totals = folded.totals["instructions"]
+        assert totals.shape == (inst.n,)
+        assert (totals > 0).all()
+        # Iterations execute identical work.
+        assert totals.std() / totals.mean() < 0.05
+
+    def test_select(self, hpcg_trace):
+        inst = instances_from_iterations(hpcg_trace)
+        folded = fold_samples(hpcg_trace.sample_table(), inst)
+        sub = folded.select(folded.sigma < 0.5)
+        assert 0 < sub.n < folded.n
+        assert (sub.sigma < 0.5).all()
+
+
+class TestFoldCounters:
+    @pytest.fixture(scope="class")
+    def folded(self, hpcg_trace):
+        inst = instances_from_iterations(hpcg_trace)
+        return fold_samples(hpcg_trace.sample_table(), inst)
+
+    def test_cumulative_monotone_and_bounded(self, folded):
+        fc = fold_counters(folded)
+        for name, curve in fc.curves.items():
+            assert (np.diff(curve.cumulative) >= -1e-9).all(), name
+            assert curve.cumulative.min() >= -1e-9
+            assert curve.cumulative.max() <= 1.0 + 1e-9
+
+    def test_rate_nonnegative(self, folded):
+        fc = fold_counters(folded)
+        for curve in fc.curves.values():
+            assert (curve.rate >= 0).all()
+
+    def test_rate_integrates_to_total(self, folded):
+        """∫ rate dσ · duration ≈ per-instance total."""
+        fc = fold_counters(folded)
+        curve = fc["instructions"]
+        integral = np.trapezoid(curve.rate, curve.sigma) * fc.duration_ns
+        assert integral == pytest.approx(curve.total_mean, rel=0.05)
+
+    def test_mips_magnitude(self, folded, hpcg_trace):
+        fc = fold_counters(folded)
+        mips = fc.mips()
+        # Cross-check against raw counters: total instr / total time.
+        raw = (
+            folded.counter_total_mean("instructions")
+            / (fc.duration_ns * 1e-9)
+            / 1e6
+        )
+        assert mips.mean() == pytest.approx(raw, rel=0.15)
+
+    def test_per_instruction_rates_sane(self, folded):
+        fc = fold_counters(folded)
+        l1 = fc.per_instruction("l1d_misses")
+        l3 = fc.per_instruction("l3_misses")
+        assert (l1 >= 0).all()
+        # Inclusive hierarchy: L3 misses never exceed L1 misses (on
+        # the smoothed curves allow small fitting slack).
+        assert (l3 <= l1 + 0.01).all()
+
+    def test_ipc_positive(self, folded):
+        fc = fold_counters(folded)
+        ipc = fc.ipc()
+        mask = ipc > 0
+        assert mask.mean() > 0.9
+
+    def test_curve_at_and_mean(self, folded):
+        fc = fold_counters(folded)
+        c = fc["instructions"]
+        assert c.at(0.5) > 0
+        assert c.mean_rate(0.2, 0.8) > 0
+        with pytest.raises(ValueError):
+            c.mean_rate(0.5, 0.5 - 1e-12)
+
+    def test_window_duration(self, folded):
+        fc = fold_counters(folded)
+        assert fc.window_duration_ns(0.0, 0.5) == pytest.approx(fc.duration_ns / 2)
+        with pytest.raises(ValueError):
+            fc.window_duration_ns(0.5, 0.2)
+
+    def test_empty_folded_rejected(self, folded):
+        empty = folded.select(np.zeros(folded.n, dtype=bool))
+        with pytest.raises(ValueError):
+            fold_counters(empty)
+
+    def test_bandwidth_affects_smoothness(self, folded):
+        sharp = fold_counters(folded, bandwidth=0.004)
+        smooth = fold_counters(folded, bandwidth=0.08)
+        tv_sharp = np.abs(np.diff(sharp.mips())).sum()
+        tv_smooth = np.abs(np.diff(smooth.mips())).sum()
+        assert tv_smooth < tv_sharp

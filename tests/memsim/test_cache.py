@@ -1,0 +1,167 @@
+"""Unit and property tests for the set-associative LRU cache."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim.cache import Cache, CacheConfig
+
+
+def make_cache(n_sets=4, assoc=2, line=64):
+    return Cache(CacheConfig("T", n_sets * assoc * line, line, assoc))
+
+
+class TestCacheConfig:
+    def test_n_sets(self):
+        c = CacheConfig("L1D", 32 * 1024, 64, 8)
+        assert c.n_sets == 64
+
+    def test_rejects_non_pow2_line(self):
+        with pytest.raises(ValueError):
+            CacheConfig("x", 1024, 48, 2)
+
+    def test_rejects_non_divisible_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig("x", 1000, 64, 2)
+
+    def test_rejects_non_pow2_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig("x", 3 * 64 * 2, 64, 2)  # 3 sets
+
+    def test_rejects_zero_assoc(self):
+        with pytest.raises(ValueError):
+            CacheConfig("x", 1024, 64, 0)
+
+
+class TestCacheBasics:
+    def test_cold_miss_then_hit(self):
+        c = make_cache()
+        assert not c.access(10)
+        c.fill(10)
+        assert c.access(10)
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_fill_evicts_lru(self):
+        c = make_cache(n_sets=1, assoc=2)
+        c.fill(0)
+        c.fill(1)
+        c.access(0)  # 0 is now MRU
+        victim = c.fill(2)
+        assert victim == 1
+        assert c.contains(0) and c.contains(2) and not c.contains(1)
+
+    def test_fill_existing_refreshes_without_eviction(self):
+        c = make_cache(n_sets=1, assoc=2)
+        c.fill(0)
+        c.fill(1)
+        assert c.fill(0) is None  # refresh, no eviction
+        victim = c.fill(2)
+        assert victim == 1  # 1 was LRU after 0's refresh
+
+    def test_sets_are_independent(self):
+        c = make_cache(n_sets=4, assoc=1)
+        # Lines 0..3 map to different sets, no evictions.
+        for line in range(4):
+            c.fill(line)
+        assert all(c.contains(line) for line in range(4))
+        assert c.stats.evictions == 0
+
+    def test_same_set_conflict(self):
+        c = make_cache(n_sets=4, assoc=1)
+        c.fill(0)
+        c.fill(4)  # same set as 0
+        assert not c.contains(0)
+        assert c.contains(4)
+
+    def test_invalidate(self):
+        c = make_cache()
+        c.fill(5)
+        assert c.invalidate(5)
+        assert not c.contains(5)
+        assert not c.invalidate(5)
+
+    def test_flush_preserves_stats(self):
+        c = make_cache()
+        c.access(1)
+        c.fill(1)
+        c.flush()
+        assert not c.contains(1)
+        assert c.stats.misses == 1
+
+    def test_contains_does_not_touch_lru(self):
+        c = make_cache(n_sets=1, assoc=2)
+        c.fill(0)
+        c.fill(1)
+        c.contains(0)  # must NOT refresh 0
+        victim = c.fill(2)
+        assert victim == 0
+
+    def test_resident_lines(self):
+        c = make_cache()
+        c.fill(3)
+        c.fill(9)
+        assert set(int(x) for x in c.resident_lines()) == {3, 9}
+
+    def test_line_of(self):
+        c = make_cache(line=64)
+        assert c.line_of(0) == 0
+        assert c.line_of(63) == 0
+        assert c.line_of(64) == 1
+
+    def test_miss_ratio(self):
+        c = make_cache()
+        assert c.stats.miss_ratio == 0.0
+        c.access(1)
+        c.fill(1)
+        c.access(1)
+        assert c.stats.miss_ratio == pytest.approx(0.5)
+
+
+def reference_lru_hits(lines, n_sets, assoc):
+    """Oracle: access+fill-on-miss over an explicit ordered-list LRU."""
+    sets = {s: [] for s in range(n_sets)}
+    hits = []
+    for line in lines:
+        s = line % n_sets
+        ways = sets[s]
+        if line in ways:
+            ways.remove(line)
+            ways.append(line)
+            hits.append(True)
+        else:
+            if len(ways) >= assoc:
+                ways.pop(0)
+            ways.append(line)
+            hits.append(False)
+    return hits
+
+
+class TestCacheAgainstOracle:
+    @given(
+        st.lists(st.integers(0, 31), min_size=1, max_size=300),
+        st.sampled_from([(1, 1), (2, 2), (4, 2), (4, 4), (8, 1)]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_lru(self, lines, geometry):
+        n_sets, assoc = geometry
+        c = make_cache(n_sets=n_sets, assoc=assoc)
+        got = []
+        for line in lines:
+            hit = c.access(line)
+            if not hit:
+                c.fill(line)
+            got.append(hit)
+        assert got == reference_lru_hits(lines, n_sets, assoc)
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, lines):
+        c = make_cache(n_sets=4, assoc=2)
+        for line in lines:
+            if not c.access(line):
+                c.fill(line)
+        assert len(c.resident_lines()) <= 8
+        # Every resident line is within a set it maps to.
+        for line in c.resident_lines():
+            assert c.contains(int(line))

@@ -1,0 +1,181 @@
+"""Tests for the precise multi-level hierarchy engine."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.cache import CacheConfig
+from repro.memsim.datasource import DataSource, LatencyModel
+from repro.memsim.hierarchy import CacheHierarchy, HierarchyConfig, PreciseEngine
+from repro.memsim.patterns import ExplicitPattern, MemOp, SequentialPattern
+
+
+def tiny_config(prefetch=False):
+    """A small 3-level hierarchy so capacity effects are testable."""
+    return HierarchyConfig(
+        levels=(
+            CacheConfig("L1D", 1024, 64, 2),  # 16 lines
+            CacheConfig("L2", 4096, 64, 4),  # 64 lines
+            CacheConfig("L3", 16 * 1024, 64, 4),  # 256 lines
+        ),
+        enable_prefetch=prefetch,
+        tlb=None,
+    )
+
+
+class TestHierarchyConfig:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            HierarchyConfig(levels=())
+
+    def test_rejects_mixed_line_sizes(self):
+        with pytest.raises(ValueError):
+            HierarchyConfig(
+                levels=(
+                    CacheConfig("L1D", 1024, 64, 2),
+                    CacheConfig("L2", 4096, 128, 4),
+                )
+            )
+
+    def test_default_is_haswell_like(self):
+        cfg = HierarchyConfig()
+        assert [lv.name for lv in cfg.levels] == ["L1D", "L2", "L3"]
+        assert cfg.levels[0].size_bytes == 32 * 1024
+
+
+class TestAccessLine:
+    def test_cold_access_is_dram_then_l1(self):
+        h = CacheHierarchy(tiny_config())
+        assert h.access_line(42, MemOp.LOAD) == DataSource.DRAM
+        assert h.access_line(42, MemOp.LOAD) == DataSource.L1
+
+    def test_inclusive_fill(self):
+        h = CacheHierarchy(tiny_config())
+        h.access_line(7, MemOp.LOAD)
+        for level in h.levels:
+            assert level.contains(7)
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = CacheHierarchy(tiny_config())
+        h.access_line(0, MemOp.LOAD)
+        # Evict line 0 from tiny L1 (16 lines, 2-way, 8 sets): lines
+        # 0, 8, 16 share set 0.
+        h.access_line(8, MemOp.LOAD)
+        h.access_line(16, MemOp.LOAD)
+        src = h.access_line(0, MemOp.LOAD)
+        assert src in (DataSource.L2, DataSource.L3)
+
+    def test_dram_line_counter(self):
+        h = CacheHierarchy(tiny_config())
+        h.access_line(0, MemOp.LOAD)
+        h.access_line(0, MemOp.LOAD)
+        h.access_line(1, MemOp.LOAD)
+        assert h.dram_lines == 2
+
+    def test_flush(self):
+        h = CacheHierarchy(tiny_config())
+        h.access_line(3, MemOp.LOAD)
+        h.flush()
+        assert h.access_line(3, MemOp.LOAD) == DataSource.DRAM
+
+
+class TestPreciseEngine:
+    def test_seq_source_mix(self):
+        eng = PreciseEngine(tiny_config())
+        # 1000 8-byte loads = 125 lines; footprint 8000B < L3.
+        p = SequentialPattern(0, 1000, 8)
+        r = eng.run_pattern(p)
+        assert r.count == 1000
+        assert r.source_counts[DataSource.DRAM] == 125
+        assert r.source_counts[DataSource.L1] == 875
+        assert r.level_misses["L1D"] == 125
+        assert r.dram_lines == 125
+
+    def test_rerun_hits_warm_levels(self):
+        eng = PreciseEngine(tiny_config())
+        p = SequentialPattern(0, 1000, 8)  # 8000 B: fits L3, not L2
+        eng.run_pattern(p)
+        r2 = eng.run_pattern(p)
+        assert DataSource.DRAM not in r2.source_counts
+        assert r2.source_counts.get(DataSource.L3, 0) > 0
+
+    def test_small_footprint_stays_in_l1(self):
+        eng = PreciseEngine(tiny_config())
+        p = SequentialPattern(0, 64, 8)  # 512 B < 1 KiB L1
+        eng.run_pattern(p)
+        r2 = eng.run_pattern(p)
+        assert r2.source_counts == {DataSource.L1: 64}
+
+    def test_sample_sources_align_with_offsets(self):
+        eng = PreciseEngine(tiny_config())
+        p = SequentialPattern(0, 64, 8)
+        # Offsets 0 and 8 start new lines (first touch -> DRAM);
+        # offsets 1..7 are same-line repeats (L1).
+        r = eng.run_pattern(p, sample_offsets=np.array([0, 1, 8, 9]))
+        assert r.sample_sources[0] == int(DataSource.DRAM)
+        assert r.sample_sources[1] == int(DataSource.L1)
+        assert r.sample_sources[2] == int(DataSource.DRAM)
+        assert r.sample_sources[3] == int(DataSource.L1)
+
+    def test_sample_latencies_match_sources(self):
+        lat = LatencyModel(jitter=0.0)
+        cfg = HierarchyConfig(
+            levels=tiny_config().levels, latency=lat, enable_prefetch=False, tlb=None
+        )
+        eng = PreciseEngine(cfg)
+        r = eng.run_pattern(SequentialPattern(0, 16, 8), np.array([0, 1]))
+        assert r.sample_latencies[0] == lat.latency(DataSource.DRAM)
+        assert r.sample_latencies[1] == lat.latency(DataSource.L1)
+
+    def test_rejects_unsorted_samples(self):
+        eng = PreciseEngine(tiny_config())
+        with pytest.raises(ValueError):
+            eng.run_pattern(SequentialPattern(0, 10, 8), np.array([5, 2]))
+
+    def test_duplicate_sample_offsets_allowed(self):
+        eng = PreciseEngine(tiny_config())
+        r = eng.run_pattern(SequentialPattern(0, 10, 8), np.array([3, 3]))
+        assert r.sample_sources[0] == r.sample_sources[1]
+
+    def test_prefetcher_reduces_demand_l2_misses(self):
+        pf = PreciseEngine(tiny_config(prefetch=True))
+        nopf = PreciseEngine(tiny_config(prefetch=False))
+        p = SequentialPattern(0, 4000, 8)
+        r_pf = pf.run_pattern(p)
+        r_nopf = nopf.run_pattern(p)
+        # Same number of lines moved...
+        assert r_pf.level_misses["L2"] == pytest.approx(
+            r_nopf.level_misses["L2"], rel=0.05
+        )
+        # ...but most demand accesses now hit L2 instead of DRAM.
+        assert r_pf.source_counts.get(DataSource.L2, 0) > r_nopf.source_counts.get(
+            DataSource.L2, 0
+        )
+        assert r_pf.source_counts.get(DataSource.DRAM, 0) < r_nopf.source_counts.get(
+            DataSource.DRAM, 1 << 30
+        )
+
+    def test_explicit_pattern_backward_compat(self):
+        eng = PreciseEngine(tiny_config())
+        addrs = np.array([0, 64, 0, 64], dtype=np.uint64)
+        r = eng.run_pattern(ExplicitPattern(addrs))
+        assert r.source_counts[DataSource.DRAM] == 2
+        assert r.source_counts[DataSource.L1] == 2
+
+    def test_mean_cost_cycles(self):
+        lat = LatencyModel(jitter=0.0)
+        cfg = HierarchyConfig(
+            levels=tiny_config().levels, latency=lat, enable_prefetch=False, tlb=None
+        )
+        eng = PreciseEngine(cfg)
+        r = eng.run_pattern(SequentialPattern(0, 8, 8))  # one line: 1 DRAM + 7 L1
+        expect = (lat.latency(DataSource.DRAM) + 7 * lat.latency(DataSource.L1)) / 8
+        assert r.mean_cost_cycles(lat) == pytest.approx(expect)
+
+    def test_tlb_misses_counted(self):
+        cfg = HierarchyConfig(
+            levels=tiny_config().levels, enable_prefetch=False
+        )  # default TLB on
+        eng = PreciseEngine(cfg)
+        p = SequentialPattern(0, 4096, 8)  # 32 KiB = 8 pages
+        r = eng.run_pattern(p)
+        assert r.tlb_misses == 8

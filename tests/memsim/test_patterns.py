@@ -1,0 +1,183 @@
+"""Unit and property tests for access-pattern descriptors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim.patterns import (
+    ExplicitPattern,
+    GatherPattern,
+    MemOp,
+    RandomPattern,
+    SequentialPattern,
+    StridedPattern,
+    pattern_lines,
+)
+
+
+class TestSequentialPattern:
+    def test_forward_addresses(self):
+        p = SequentialPattern(1000, 4, elem_size=8)
+        np.testing.assert_array_equal(p.expand(), [1000, 1008, 1016, 1024])
+
+    def test_backward_addresses(self):
+        p = SequentialPattern(1000, 4, elem_size=8, direction=-1)
+        np.testing.assert_array_equal(p.expand(), [1024, 1016, 1008, 1000])
+
+    def test_backward_footprint_same_as_forward(self):
+        f = SequentialPattern(1000, 4, 8, 1).locality()
+        b = SequentialPattern(1000, 4, 8, -1).locality()
+        assert (f.lo, f.hi) == (b.lo, b.hi) == (1000, 1032)
+        assert f.direction == 1 and b.direction == -1
+
+    def test_addresses_at_subset(self):
+        p = SequentialPattern(0, 100, 8)
+        np.testing.assert_array_equal(p.addresses_at(np.array([0, 50, 99])), [0, 400, 792])
+
+    def test_offsets_out_of_range(self):
+        p = SequentialPattern(0, 10, 8)
+        with pytest.raises(IndexError):
+            p.addresses_at(np.array([10]))
+        with pytest.raises(IndexError):
+            p.addresses_at(np.array([-1]))
+
+    def test_rejects_bad_direction(self):
+        with pytest.raises(ValueError):
+            SequentialPattern(0, 10, 8, direction=0)
+
+    def test_locality_counts(self):
+        loc = SequentialPattern(0, 1000, 8).locality()
+        assert loc.unique_bytes == 8000
+        assert loc.count == 1000
+        assert loc.kind == "seq"
+
+    def test_empty(self):
+        p = SequentialPattern(0, 0, 8)
+        assert p.expand().size == 0
+
+
+class TestStridedPattern:
+    def test_addresses(self):
+        p = StridedPattern(100, 3, stride=256, elem_size=8)
+        np.testing.assert_array_equal(p.expand(), [100, 356, 612])
+
+    def test_rejects_nonpositive_stride(self):
+        with pytest.raises(ValueError):
+            StridedPattern(0, 10, stride=0)
+
+    def test_locality_span(self):
+        loc = StridedPattern(0, 10, stride=128, elem_size=8).locality()
+        assert loc.hi - loc.lo == 9 * 128 + 8
+        assert loc.unique_bytes == 80
+
+
+class TestGatherPattern:
+    def test_addresses(self):
+        p = GatherPattern(1000, np.array([0, 5, 2]), elem_size=8)
+        np.testing.assert_array_equal(p.expand(), [1000, 1040, 1016])
+
+    def test_locality_unique(self):
+        p = GatherPattern(0, np.array([0, 0, 1, 1, 2]), elem_size=8)
+        loc = p.locality()
+        assert loc.unique_bytes == 24
+        assert loc.count == 5
+
+    def test_working_set_hint_respected(self):
+        p = GatherPattern(0, np.array([0, 100]), elem_size=8, working_set_hint=512)
+        assert p.locality().working_set_bytes == 512
+
+    def test_rejects_negative_indices(self):
+        with pytest.raises(ValueError):
+            GatherPattern(0, np.array([-1]))
+
+    def test_rejects_2d_indices(self):
+        with pytest.raises(ValueError):
+            GatherPattern(0, np.zeros((2, 2), dtype=np.int64))
+
+    def test_empty(self):
+        p = GatherPattern(0, np.array([], dtype=np.int64))
+        assert p.count == 0
+        assert p.locality().count == 0
+
+
+class TestRandomPattern:
+    def test_deterministic_and_in_range(self):
+        p = RandomPattern(4096, nbytes=8192, count_=500, elem_size=8, seed=9)
+        a1, a2 = p.expand(), p.expand()
+        np.testing.assert_array_equal(a1, a2)
+        assert (a1 >= 4096).all() and (a1 < 4096 + 8192).all()
+        assert ((a1 - 4096) % 8 == 0).all()
+
+    def test_random_access_consistency(self):
+        """addresses_at(k) must equal expand()[k] for any subset."""
+        p = RandomPattern(0, 1 << 16, 1000, seed=3)
+        full = p.expand()
+        sub = p.addresses_at(np.array([3, 17, 999]))
+        np.testing.assert_array_equal(sub, full[[3, 17, 999]])
+
+    def test_different_seeds_differ(self):
+        a = RandomPattern(0, 1 << 16, 100, seed=1).expand()
+        b = RandomPattern(0, 1 << 16, 100, seed=2).expand()
+        assert not (a == b).all()
+
+    def test_unique_bytes_estimate_reasonable(self):
+        p = RandomPattern(0, 80_000, 10_000, elem_size=8, seed=0)
+        loc = p.locality()
+        actual_unique = np.unique(p.expand()).size * 8
+        # Expected-distinct formula should be within 10 % of reality.
+        assert loc.unique_bytes == pytest.approx(actual_unique, rel=0.1)
+
+    def test_rejects_tiny_range(self):
+        with pytest.raises(ValueError):
+            RandomPattern(0, 4, 10, elem_size=8)
+
+
+class TestExplicitPattern:
+    def test_roundtrip(self):
+        addrs = np.array([64, 0, 128, 64], dtype=np.uint64)
+        p = ExplicitPattern(addrs)
+        np.testing.assert_array_equal(p.expand(), addrs)
+        assert p.count == 4
+
+    def test_direction_detection(self):
+        up = ExplicitPattern(np.array([0, 8, 16], dtype=np.uint64))
+        down = ExplicitPattern(np.array([16, 8, 0], dtype=np.uint64))
+        mixed = ExplicitPattern(np.array([0, 16, 8], dtype=np.uint64))
+        assert up.locality().direction == 1
+        assert down.locality().direction == -1
+        assert mixed.locality().direction == 0
+
+    def test_unique_bytes_line_granular(self):
+        p = ExplicitPattern(np.array([0, 8, 16, 64], dtype=np.uint64))
+        assert p.locality().unique_bytes == 72  # clipped to span hi-lo
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            ExplicitPattern(np.zeros((2, 2), dtype=np.uint64))
+
+
+class TestPatternLines:
+    def test_seq(self):
+        p = SequentialPattern(0, 800, 8)  # 6400 bytes
+        assert pattern_lines(p, 64) == 100
+
+    def test_empty(self):
+        assert pattern_lines(SequentialPattern(0, 0, 8)) == 0
+
+
+@given(
+    start=st.integers(0, 2**40),
+    count=st.integers(1, 500),
+    elem=st.sampled_from([4, 8, 16]),
+    direction=st.sampled_from([1, -1]),
+)
+@settings(max_examples=60)
+def test_seq_addresses_at_matches_expand(start, count, elem, direction):
+    p = SequentialPattern(start, count, elem, direction)
+    full = p.expand()
+    assert full.size == count
+    idx = np.arange(0, count, max(1, count // 7))
+    np.testing.assert_array_equal(p.addresses_at(idx), full[idx])
+    loc = p.locality()
+    assert loc.lo <= int(full.min()) and int(full.max()) < loc.hi

@@ -1,0 +1,131 @@
+"""Tests for the TLB, prefetcher and data-source/latency models."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.datasource import DataSource, LatencyModel
+from repro.memsim.prefetch import NextLinePrefetcher
+from repro.memsim.tlb import Tlb, TlbConfig
+
+
+class TestDataSource:
+    def test_values_are_stable(self):
+        # Serialized traces depend on these exact codes.
+        assert int(DataSource.L1) == 1
+        assert int(DataSource.LFB) == 2
+        assert int(DataSource.L2) == 3
+        assert int(DataSource.L3) == 4
+        assert int(DataSource.DRAM) == 5
+        assert int(DataSource.REMOTE) == 6
+
+    def test_pretty_names(self):
+        assert DataSource.L1.pretty == "L1D"
+        assert DataSource.DRAM.pretty == "DRAM"
+
+
+class TestLatencyModel:
+    def test_ordering(self):
+        m = LatencyModel()
+        assert (
+            m.latency(DataSource.L1)
+            < m.latency(DataSource.L2)
+            < m.latency(DataSource.L3)
+            < m.latency(DataSource.DRAM)
+        )
+
+    def test_sample_no_jitter_exact(self):
+        m = LatencyModel(jitter=0.0)
+        src = np.array([int(DataSource.L1), int(DataSource.DRAM)])
+        lat = m.sample(src, np.random.default_rng(0))
+        assert lat[0] == m.latency(DataSource.L1)
+        assert lat[1] == m.latency(DataSource.DRAM)
+
+    def test_sample_without_rng_is_deterministic(self):
+        m = LatencyModel(jitter=0.5)
+        src = np.full(10, int(DataSource.L3))
+        lat = m.sample(src, None)
+        assert (lat == m.latency(DataSource.L3)).all()
+
+    def test_jitter_bounded(self):
+        m = LatencyModel(jitter=0.3)
+        src = np.full(10_000, int(DataSource.DRAM))
+        lat = m.sample(src, np.random.default_rng(1))
+        base = m.latency(DataSource.DRAM)
+        assert (lat >= 0.5 * base).all()
+        assert (lat <= 2.0 * base).all()
+        assert lat.mean() == pytest.approx(base, rel=0.05)
+
+
+class TestNextLinePrefetcher:
+    def test_no_prefetch_on_isolated_miss(self):
+        pf = NextLinePrefetcher(degree=2)
+        assert pf.on_miss(100) == []
+
+    def test_ascending_stream_detected(self):
+        pf = NextLinePrefetcher(degree=2)
+        pf.on_miss(10)
+        assert pf.on_miss(11) == [12, 13]
+
+    def test_descending_stream_detected(self):
+        pf = NextLinePrefetcher(degree=2)
+        pf.on_miss(11)
+        assert pf.on_miss(10) == [9, 8]
+
+    def test_descending_clamps_at_zero(self):
+        pf = NextLinePrefetcher(degree=3)
+        pf.on_miss(2)
+        assert pf.on_miss(1) == [0]
+
+    def test_issued_counter(self):
+        pf = NextLinePrefetcher(degree=1)
+        pf.on_miss(5)
+        pf.on_miss(6)
+        pf.on_miss(7)
+        assert pf.issued == 2
+
+    def test_reset(self):
+        pf = NextLinePrefetcher()
+        pf.on_miss(5)
+        pf.reset()
+        assert pf.on_miss(6) == []
+        assert pf.issued == 0
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            NextLinePrefetcher(degree=0)
+
+
+class TestTlb:
+    def test_first_access_misses(self):
+        tlb = Tlb(TlbConfig(entries=8, associativity=2))
+        assert not tlb.access(0)
+        assert tlb.access(0)
+        assert tlb.access(4095)  # same page
+        assert not tlb.access(4096)  # next page
+
+    def test_bulk_collapses_page_runs(self):
+        tlb = Tlb(TlbConfig(entries=8, associativity=2))
+        addrs = np.arange(0, 3 * 4096, 8, dtype=np.uint64)  # 3 pages
+        misses = tlb.access_bulk(addrs)
+        assert misses == 3
+        assert tlb.stats.hits == addrs.size - 3
+
+    def test_bulk_empty(self):
+        tlb = Tlb(TlbConfig())
+        assert tlb.access_bulk(np.array([], dtype=np.uint64)) == 0
+
+    def test_capacity_eviction(self):
+        tlb = Tlb(TlbConfig(entries=4, associativity=4))  # fully assoc, 4 entries
+        for page in range(5):
+            tlb.access(page * 4096)
+        assert not tlb.access(0)  # page 0 evicted
+
+    def test_flush(self):
+        tlb = Tlb(TlbConfig())
+        tlb.access(0)
+        tlb.flush()
+        assert not tlb.access(0)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            TlbConfig(entries=10, associativity=4)

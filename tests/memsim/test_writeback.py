@@ -1,0 +1,171 @@
+"""Tests for dirty-line / write-back modeling in both engines."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.analytic import AnalyticEngine, SegmentLru
+from repro.memsim.cache import Cache, CacheConfig
+from repro.memsim.datasource import LatencyModel
+from repro.memsim.hierarchy import CacheHierarchy, HierarchyConfig, PreciseEngine
+from repro.memsim.patterns import MemOp, SequentialPattern
+
+
+def config(prefetch=False):
+    return HierarchyConfig(
+        levels=(
+            CacheConfig("L1D", 1024, 64, 2),
+            CacheConfig("L2", 4096, 64, 4),
+            CacheConfig("L3", 16 * 1024, 64, 4),
+        ),
+        latency=LatencyModel(jitter=0.0),
+        enable_prefetch=prefetch,
+        tlb=None,
+    )
+
+
+class TestCacheDirtyBits:
+    def test_mark_and_count(self):
+        c = Cache(CacheConfig("T", 1024, 64, 2))
+        c.fill(3)
+        assert c.mark_dirty(3)
+        assert c.dirty_lines() == 1
+        assert not c.mark_dirty(99)  # absent line
+
+    def test_victim_dirty_flag(self):
+        c = Cache(CacheConfig("T", 128, 64, 2))  # one set, two ways
+        c.fill(0)
+        c.mark_dirty(0)
+        c.fill(1)
+        c.fill(2)  # evicts line 0 (dirty)
+        assert c.last_victim_dirty
+        c.fill(3)  # evicts line 1 (clean)
+        assert not c.last_victim_dirty
+
+    def test_fill_clears_dirty(self):
+        c = Cache(CacheConfig("T", 128, 64, 2))
+        c.fill(0)
+        c.mark_dirty(0)
+        c.fill(1)
+        c.fill(2)  # 0 evicted
+        c.fill(0)  # back, clean now
+        assert c.dirty_lines() == 0
+
+    def test_invalidate_and_flush_clear_dirty(self):
+        c = Cache(CacheConfig("T", 1024, 64, 2))
+        c.fill(5)
+        c.mark_dirty(5)
+        c.invalidate(5)
+        assert c.dirty_lines() == 0
+        c.fill(6)
+        c.mark_dirty(6)
+        c.flush()
+        assert c.dirty_lines() == 0
+
+
+class TestHierarchyWritebacks:
+    def test_store_marks_last_level_dirty(self):
+        h = CacheHierarchy(config())
+        h.access_line(0, MemOp.STORE)
+        assert h.levels[-1].dirty_lines() == 1
+        assert h.dram_writebacks == 0
+
+    def test_load_does_not_dirty(self):
+        h = CacheHierarchy(config())
+        h.access_line(0, MemOp.LOAD)
+        assert h.levels[-1].dirty_lines() == 0
+
+    def test_evicted_dirty_line_counts(self):
+        h = CacheHierarchy(config())
+        # L3: 16 KiB / 64 B / 4-way = 64 sets; lines k*64 share set 0.
+        h.access_line(0, MemOp.STORE)
+        for k in range(1, 5):
+            h.access_line(k * 64, MemOp.LOAD)  # fill set 0 past 4 ways
+        assert h.dram_writebacks == 1
+
+    def test_clean_eviction_free(self):
+        h = CacheHierarchy(config())
+        for k in range(5):
+            h.access_line(k * 64, MemOp.LOAD)
+        assert h.dram_writebacks == 0
+
+
+class TestEngineWritebackAgreement:
+    @pytest.mark.parametrize("prefetch", [False, True])
+    def test_store_stream_writebacks_match(self, prefetch):
+        cfg = config(prefetch)
+        precise = PreciseEngine(cfg)
+        analytic = AnalyticEngine(cfg, rng=np.random.default_rng(0))
+        stores = SequentialPattern(0, 16384, 8, op=MemOp.STORE)  # 128 KiB
+        loads = SequentialPattern(1 << 20, 16384, 8)
+        for eng in (precise, analytic):
+            w = eng.run_pattern(stores)
+            r = eng.run_pattern(loads)
+            # 2048 dirtied lines; 256 fit in L3 until the load sweep
+            # pushes them out too.
+            assert w.writeback_lines == pytest.approx(1792, abs=16)
+            assert r.writeback_lines == pytest.approx(256, abs=16)
+
+    def test_small_store_set_no_writebacks(self):
+        for eng in (PreciseEngine(config()),
+                    AnalyticEngine(config(), rng=np.random.default_rng(0))):
+            r = eng.run_pattern(SequentialPattern(0, 128, 8, op=MemOp.STORE))
+            assert r.writeback_lines == 0  # 1 KiB stays resident
+
+
+class TestSegmentLruDirty:
+    def test_dirty_eviction_accumulates(self):
+        lru = SegmentLru(1024)
+        lru.insert(0, 1024, dirty=True)
+        lru.insert(4096, 4096 + 1024, dirty=False)  # evicts the dirty KB
+        assert lru.take_evicted_dirty_bytes() == pytest.approx(1024)
+        assert lru.take_evicted_dirty_bytes() == 0.0  # reset on take
+
+    def test_oversized_dirty_insert_writes_back_head(self):
+        lru = SegmentLru(1024)
+        lru.insert(0, 10_000, direction=1, dirty=True)
+        assert lru.take_evicted_dirty_bytes() == pytest.approx(10_000 - 1024)
+
+    def test_clean_eviction_free(self):
+        lru = SegmentLru(1024)
+        lru.insert(0, 1024, dirty=False)
+        lru.insert(4096, 4096 + 1024, dirty=True)
+        assert lru.take_evicted_dirty_bytes() == 0.0
+
+    def test_trim_of_dirty_segment_counts_partial(self):
+        lru = SegmentLru(1024)
+        lru.insert(0, 1024, dirty=True)
+        lru.insert(4096, 4096 + 512, dirty=False)  # trims 512 off the dirty seg
+        assert lru.take_evicted_dirty_bytes() == pytest.approx(512, abs=8)
+
+    def test_flush_resets(self):
+        lru = SegmentLru(1024)
+        lru.insert(0, 2048, dirty=True)
+        lru.flush()
+        assert lru.take_evicted_dirty_bytes() == 0.0
+
+
+class TestMachineWritebackCounter:
+    def test_counter_accumulates(self):
+        from repro.simproc.machine import Machine
+        from repro.simproc.isa import KernelBatch
+
+        m = Machine(engine=PreciseEngine(config()))
+        batch = KernelBatch(
+            "w", (SequentialPattern(0, 16384, 8, op=MemOp.STORE),),
+            instructions=65536,
+        )
+        m.execute(batch)
+        assert m.counters.dram_writebacks == pytest.approx(1792, abs=16)
+
+    def test_stream_triad_writebacks(self):
+        """STREAM: the store array's lines are all written back when
+        arrays exceed the LLC — the classic 3-transfers-per-element."""
+        from tests.workloads.test_other_workloads import run
+        from repro.workloads.stream import StreamConfig, StreamWorkload
+
+        n = 1 << 21  # 16 MiB arrays vs 32 MiB default L3
+        session, _ = run(StreamWorkload(StreamConfig(n=n, iterations=4)))
+        c = session.machine.counters
+        store_lines_per_iter = n * 8 // 64
+        # After warm-up every iteration's stores get written back.
+        assert c.dram_writebacks > 2.5 * store_lines_per_iter

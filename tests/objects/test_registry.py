@@ -1,0 +1,69 @@
+"""Tests for the data-object registry."""
+
+import numpy as np
+import pytest
+
+from repro.extrae.memalloc import ObjectRecord
+from repro.objects.registry import DataObjectRegistry
+
+
+def rec(name, start, end, kind="dynamic", user=None, n=1):
+    return ObjectRecord(name, start, end, kind, user if user is not None else end - start,
+                        n_allocations=n)
+
+
+class TestRegistry:
+    def test_scalar_lookup(self):
+        reg = DataObjectRegistry([rec("a", 100, 200), rec("b", 300, 400)])
+        assert reg.object_for(150).name == "a"
+        assert reg.object_for(399).name == "b"
+        assert reg.object_for(250) is None
+
+    def test_bulk_matches_scalar(self):
+        reg = DataObjectRegistry([rec("a", 100, 200), rec("b", 300, 400)])
+        addrs = np.array([50, 100, 199, 200, 350, 1000], dtype=np.uint64)
+        idx = reg.resolve_bulk(addrs)
+        for a, i in zip(addrs, idx):
+            scalar = reg.object_for(int(a))
+            if i < 0:
+                assert scalar is None
+            else:
+                assert reg.records[int(i)] is scalar
+
+    def test_bulk_empty_registry(self):
+        reg = DataObjectRegistry()
+        idx = reg.resolve_bulk(np.array([1, 2], dtype=np.uint64))
+        assert (idx == -1).all()
+
+    def test_bulk_index_is_record_order(self):
+        # Insert out of address order: record index must still be by
+        # insertion, not by address position.
+        reg = DataObjectRegistry([rec("hi", 1000, 2000), rec("lo", 0, 100)])
+        idx = reg.resolve_bulk(np.array([50, 1500], dtype=np.uint64))
+        assert reg.records[int(idx[0])].name == "lo"
+        assert reg.records[int(idx[1])].name == "hi"
+
+    def test_conflict_keeps_first(self):
+        reg = DataObjectRegistry()
+        assert reg.add(rec("first", 100, 300))
+        assert not reg.add(rec("overlap", 200, 400))
+        assert len(reg) == 1
+        assert len(reg.conflicts) == 1
+        loser, winner = reg.conflicts[0]
+        assert loser.name == "overlap"
+        assert winner.name == "first"
+
+    def test_by_kind(self):
+        reg = DataObjectRegistry(
+            [rec("d", 0, 10), rec("s", 20, 30, kind="static"), rec("g", 40, 50, kind="group")]
+        )
+        assert [r.name for r in reg.by_kind("static")] == ["s"]
+
+    def test_total_bytes_and_largest(self):
+        reg = DataObjectRegistry([rec("small", 0, 10), rec("big", 100, 1000)])
+        assert reg.total_bytes() == 910
+        assert reg.largest(1)[0].name == "big"
+
+    def test_iteration(self):
+        reg = DataObjectRegistry([rec("a", 0, 10)])
+        assert [r.name for r in reg] == ["a"]

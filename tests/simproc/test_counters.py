@@ -1,0 +1,53 @@
+"""Tests for the counter set."""
+
+import pytest
+
+from repro.simproc.counters import COUNTER_NAMES, CounterSet
+
+
+class TestCounterSet:
+    def test_copy_is_independent(self):
+        a = CounterSet(instructions=10)
+        b = a.copy()
+        b.instructions = 99
+        assert a.instructions == 10
+
+    def test_delta(self):
+        a = CounterSet(instructions=100, cycles=50.0, l3_misses=7)
+        b = CounterSet(instructions=40, cycles=20.0, l3_misses=2)
+        d = a.delta(b)
+        assert d.instructions == 60
+        assert d.cycles == 30.0
+        assert d.l3_misses == 5
+
+    def test_add(self):
+        a = CounterSet(loads=5)
+        a.add(CounterSet(loads=3, stores=2))
+        assert a.loads == 8 and a.stores == 2
+
+    def test_ipc(self):
+        assert CounterSet(instructions=60, cycles=100.0).ipc() == pytest.approx(0.6)
+        assert CounterSet().ipc() == 0.0
+
+    def test_per_instruction(self):
+        c = CounterSet(instructions=1000, l1d_misses=50)
+        assert c.per_instruction("l1d_misses") == pytest.approx(0.05)
+        assert CounterSet().per_instruction("l1d_misses") == 0.0
+
+    def test_memory_accesses(self):
+        assert CounterSet(loads=3, stores=4).memory_accesses == 7
+
+    def test_as_dict_covers_all_names(self):
+        d = CounterSet().as_dict()
+        assert set(d) == set(COUNTER_NAMES)
+
+    def test_monotone_validation(self):
+        early = CounterSet(instructions=10)
+        late = CounterSet(instructions=20)
+        late.validate_monotone_since(early)
+        with pytest.raises(ValueError):
+            early.validate_monotone_since(late)
+
+    def test_counter_names_stable_order(self):
+        assert COUNTER_NAMES[0] == "instructions"
+        assert "cycles" in COUNTER_NAMES

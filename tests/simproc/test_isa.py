@@ -1,0 +1,58 @@
+"""Tests for kernel-batch descriptors."""
+
+import pytest
+
+from repro.memsim.patterns import MemOp, SequentialPattern
+from repro.simproc.isa import KernelBatch
+from repro.vmem.callstack import Frame
+
+
+def loads(n):
+    return SequentialPattern(0, n, 8, op=MemOp.LOAD)
+
+
+def stores(n):
+    return SequentialPattern(1 << 20, n, 8, op=MemOp.STORE)
+
+
+class TestKernelBatch:
+    def test_load_store_accounting(self):
+        b = KernelBatch("k", (loads(100), stores(40)), instructions=500)
+        assert b.memory_accesses == 140
+        assert b.loads == 100
+        assert b.stores == 40
+
+    def test_rejects_too_few_instructions(self):
+        with pytest.raises(ValueError):
+            KernelBatch("k", (loads(100),), instructions=50)
+
+    def test_rejects_bad_branches(self):
+        with pytest.raises(ValueError):
+            KernelBatch("k", (loads(10),), instructions=100, branches=-1)
+        with pytest.raises(ValueError):
+            KernelBatch("k", (loads(10),), instructions=100, branches=101)
+
+    def test_rejects_bad_mlp(self):
+        with pytest.raises(ValueError):
+            KernelBatch("k", (loads(10),), instructions=100, mlp=0)
+
+    def test_list_patterns_coerced(self):
+        b = KernelBatch("k", [loads(10)], instructions=100)  # type: ignore[arg-type]
+        assert isinstance(b.patterns, tuple)
+
+    def test_source_frame(self):
+        f = Frame("ComputeSPMV_ref", "ComputeSPMV_ref.cpp", 60)
+        b = KernelBatch("spmv", (loads(10),), instructions=100, source=f)
+        assert b.source.line == 60
+
+    def test_scaled(self):
+        b = KernelBatch("k", (loads(10),), instructions=100, branches=10)
+        s = b.scaled(2.0)
+        assert s.instructions == 200
+        assert s.branches == 20
+        assert s.patterns == b.patterns
+
+    def test_scaled_never_below_accesses(self):
+        b = KernelBatch("k", (loads(100),), instructions=100)
+        s = b.scaled(0.01)
+        assert s.instructions == 100

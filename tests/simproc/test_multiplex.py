@@ -1,0 +1,66 @@
+"""Tests for the event-group multiplex schedule."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.patterns import MemOp
+from repro.simproc.multiplex import EventGroup, MultiplexSchedule
+
+
+class TestEventGroup:
+    def test_coerces_ops_to_frozenset(self):
+        g = EventGroup("g", {MemOp.LOAD})  # type: ignore[arg-type]
+        assert isinstance(g.ops, frozenset)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EventGroup("g", frozenset())
+
+
+class TestMultiplexSchedule:
+    def test_rotation(self):
+        m = MultiplexSchedule.loads_and_stores(quantum_ns=100.0)
+        assert m.active_group(0.0).name == "loads"
+        assert m.active_group(99.9).name == "loads"
+        assert m.active_group(100.0).name == "stores"
+        assert m.active_group(250.0).name == "loads"
+
+    def test_active_mask(self):
+        m = MultiplexSchedule.loads_and_stores(quantum_ns=100.0)
+        times = np.array([10.0, 110.0, 210.0, 310.0])
+        np.testing.assert_array_equal(
+            m.active_mask(MemOp.LOAD, times), [True, False, True, False]
+        )
+        np.testing.assert_array_equal(
+            m.active_mask(MemOp.STORE, times), [False, True, False, True]
+        )
+
+    def test_single_group_always_active(self):
+        m = MultiplexSchedule.single({MemOp.LOAD, MemOp.STORE})
+        times = np.linspace(0, 1e9, 11)
+        assert m.active_mask(MemOp.LOAD, times).all()
+        assert m.active_mask(MemOp.STORE, times).all()
+
+    def test_single_group_excludes_other_ops(self):
+        m = MultiplexSchedule.single({MemOp.LOAD})
+        assert not m.active_mask(MemOp.STORE, np.array([0.0])).any()
+
+    def test_duty_cycle(self):
+        m = MultiplexSchedule.loads_and_stores()
+        assert m.duty_cycle(MemOp.LOAD) == pytest.approx(0.5)
+        s = MultiplexSchedule.single({MemOp.LOAD})
+        assert s.duty_cycle(MemOp.LOAD) == 1.0
+        assert s.duty_cycle(MemOp.STORE) == 0.0
+
+    def test_rejects_empty_groups(self):
+        with pytest.raises(ValueError):
+            MultiplexSchedule([])
+
+    def test_rejects_bad_quantum(self):
+        with pytest.raises(ValueError):
+            MultiplexSchedule.loads_and_stores(quantum_ns=0)
+
+    def test_rejects_duplicate_names(self):
+        g = EventGroup("g", frozenset({MemOp.LOAD}))
+        with pytest.raises(ValueError):
+            MultiplexSchedule([g, g])

@@ -1,0 +1,113 @@
+"""Tests for the PEBS sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim.patterns import MemOp
+from repro.simproc.pebs import PebsConfig, PebsSampler
+
+
+def sampler(period=100, rand=0.0, threshold=0.0, ops=(MemOp.LOAD,), seed=0):
+    cfg = PebsConfig(period, rand, threshold)
+    return PebsSampler({op: cfg for op in ops}, np.random.default_rng(seed))
+
+
+class TestPebsConfig:
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            PebsConfig(period=0)
+
+    def test_rejects_bad_randomization(self):
+        with pytest.raises(ValueError):
+            PebsConfig(randomization=1.0)
+        with pytest.raises(ValueError):
+            PebsConfig(randomization=-0.1)
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            PebsConfig(latency_threshold_cycles=-1)
+
+
+class TestTake:
+    def test_deterministic_period_spacing(self):
+        s = sampler(period=100)
+        off = s.take(MemOp.LOAD, 1000)
+        np.testing.assert_array_equal(off, np.arange(100, 1000, 100))
+
+    def test_countdown_persists_across_batches(self):
+        s = sampler(period=100)
+        a = s.take(MemOp.LOAD, 250)  # samples at 100, 200; countdown 50
+        b = s.take(MemOp.LOAD, 250)  # next at global 300 -> local 50
+        np.testing.assert_array_equal(a, [100, 200])
+        np.testing.assert_array_equal(b, [50, 150])
+
+    def test_split_invariance(self):
+        """Chopping the op stream into batches must not change the
+        global sample positions (deterministic period)."""
+        whole = sampler(period=73).take(MemOp.LOAD, 10_000)
+        s = sampler(period=73)
+        pieces, base = [], 0
+        for n in [1000, 1, 4999, 4000]:
+            off = s.take(MemOp.LOAD, n)
+            pieces.append(off + base)
+            base += n
+        np.testing.assert_array_equal(whole, np.concatenate(pieces))
+
+    def test_unsampled_op_returns_empty(self):
+        s = sampler(ops=(MemOp.LOAD,))
+        assert s.take(MemOp.STORE, 1000).size == 0
+
+    def test_zero_ops(self):
+        s = sampler()
+        assert s.take(MemOp.LOAD, 0).size == 0
+
+    def test_randomized_period_mean(self):
+        s = sampler(period=100, rand=0.3, seed=1)
+        off = s.take(MemOp.LOAD, 200_000)
+        gaps = np.diff(off)
+        assert gaps.mean() == pytest.approx(100, rel=0.05)
+        assert (gaps >= 69).all() and (gaps <= 131).all()
+
+    def test_randomized_offsets_sorted_unique(self):
+        s = sampler(period=10, rand=0.5, seed=2)
+        off = s.take(MemOp.LOAD, 10_000)
+        assert (np.diff(off) > 0).all()
+
+    def test_samples_taken_counter(self):
+        s = sampler(period=10)
+        s.take(MemOp.LOAD, 100)
+        assert s.samples_taken[MemOp.LOAD] == 9
+
+    @given(st.integers(1, 500), st.lists(st.integers(0, 3000), min_size=1, max_size=10))
+    @settings(max_examples=40)
+    def test_rate_approximation(self, period, batch_sizes):
+        s = sampler(period=period)
+        total = sum(batch_sizes)
+        n_samples = sum(s.take(MemOp.LOAD, n).size for n in batch_sizes)
+        assert abs(n_samples - total // period) <= 1
+
+
+class TestLatencyFilter:
+    def test_threshold_zero_keeps_all(self):
+        s = sampler(threshold=0.0)
+        mask = s.latency_filter(MemOp.LOAD, np.array([1.0, 500.0]))
+        assert mask.all()
+
+    def test_threshold_filters(self):
+        s = sampler(threshold=30.0)
+        mask = s.latency_filter(MemOp.LOAD, np.array([4.0, 30.0, 210.0]))
+        np.testing.assert_array_equal(mask, [False, True, True])
+
+    def test_unknown_op_keeps_all(self):
+        s = sampler(ops=(MemOp.LOAD,), threshold=30.0)
+        mask = s.latency_filter(MemOp.STORE, np.array([1.0]))
+        assert mask.all()
+
+
+class TestExpectedRate:
+    def test_rates(self):
+        s = sampler(period=250)
+        assert s.expected_rate(MemOp.LOAD) == pytest.approx(1 / 250)
+        assert s.expected_rate(MemOp.STORE) == 0.0

@@ -1,0 +1,121 @@
+"""Tests for the command-line tools."""
+
+import pytest
+
+from repro.cli import main, main_fold, main_report, main_run
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    path = tmp_path / "t.bsctrace"
+    rc = main_run(
+        ["--workload", "hpcg", "--nx", "16", "--nlevels", "2",
+         "--iterations", "3", "-o", str(path)]
+    )
+    assert rc == 0
+    return path
+
+
+class TestRun:
+    def test_writes_trace(self, trace_file, capsys):
+        assert trace_file.exists()
+
+    def test_stream_workload(self, tmp_path):
+        path = tmp_path / "s.bsctrace"
+        assert main_run(["--workload", "stream", "--nx", "32",
+                         "--iterations", "2", "-o", str(path)]) == 0
+        assert path.exists()
+
+    def test_gups_workload(self, tmp_path):
+        path = tmp_path / "g.bsctrace"
+        assert main_run(["--workload", "gups", "--iterations", "2",
+                         "-o", str(path)]) == 0
+
+    def test_precise_engine_small(self, tmp_path):
+        path = tmp_path / "p.bsctrace"
+        assert main_run(["--workload", "stream", "--nx", "16",
+                         "--iterations", "1", "--engine", "precise",
+                         "-o", str(path)]) == 0
+
+
+class TestFold:
+    def test_exports_panels(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "folded"
+        assert main_fold([str(trace_file), "-o", str(out)]) == 0
+        assert (out / "counters.dat").exists()
+        assert (out / "addresses.dat").exists()
+        captured = capsys.readouterr()
+        assert "Folded report" in captured.out
+
+
+class TestReport:
+    def test_prints_analysis(self, trace_file, capsys):
+        assert main_report([str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Sampled references by data object" in out
+        assert "E4" in out  # HPCG figure analysis
+
+    def test_export_dir(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "fig"
+        assert main_report([str(trace_file), "--export-dir", str(out)]) == 0
+        assert (out / "figure1.txt").exists()
+
+
+class TestDispatcher:
+    def test_usage_on_bad_command(self, capsys):
+        assert main(["bogus"]) == 2
+        assert main([]) == 2
+
+    def test_dispatch_run(self, tmp_path):
+        path = tmp_path / "d.bsctrace"
+        assert main(["run", "--workload", "stream", "--nx", "16",
+                     "--iterations", "1", "-o", str(path)]) == 0
+
+
+class TestReportExtensions:
+    def test_ascii_flag(self, trace_file, capsys):
+        assert main_report([str(trace_file), "--ascii"]) == 0
+        out = capsys.readouterr().out
+        assert "addresses referenced" in out
+        assert "counters / MIPS" in out
+
+    def test_streams_flag(self, trace_file, capsys):
+        assert main_report([str(trace_file), "--streams"]) == 0
+        assert "Dominant data streams" in capsys.readouterr().out
+
+    def test_advise_flag(self, trace_file, capsys):
+        assert main_report([str(trace_file), "--advise"]) == 0
+        assert "Hybrid-memory placement" in capsys.readouterr().out
+
+    def test_overhead_flag(self, trace_file, capsys):
+        assert main_report([str(trace_file), "--overhead"]) == 0
+        assert "Monitoring-overhead model" in capsys.readouterr().out
+
+    def test_paraver_flag(self, trace_file, tmp_path, capsys):
+        base = tmp_path / "out"
+        assert main_report([str(trace_file), "--paraver", str(base)]) == 0
+        assert (tmp_path / "out.prv").exists()
+        assert (tmp_path / "out.pcf").exists()
+
+
+class TestFoldAlignment:
+    def test_align_flag_default_regions(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "aligned"
+        assert main_fold([str(trace_file), "-o", str(out), "--align"]) == 0
+        assert (out / "counters.dat").exists()
+
+    def test_align_flag_custom_regions(self, trace_file, tmp_path):
+        out = tmp_path / "aligned2"
+        assert main_fold(
+            [str(trace_file), "-o", str(out), "--align", "ComputeSPMV_ref"]
+        ) == 0
+
+
+class TestRegionsRooflineFlags:
+    def test_regions_flag(self, trace_file, capsys):
+        assert main_report([str(trace_file), "--regions"]) == 0
+        assert "Progression on code regions" in capsys.readouterr().out
+
+    def test_roofline_flag(self, trace_file, capsys):
+        assert main_report([str(trace_file), "--roofline"]) == 0
+        assert "ridge point" in capsys.readouterr().out

@@ -1,0 +1,35 @@
+"""Smoke tests: the fast examples must keep running end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, timeout=120):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+        cwd=EXAMPLES.parent,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "triad bandwidth" in result.stdout
+        assert "ascending ramp" in result.stdout
+
+    def test_multiplexing_aslr(self):
+        result = run_example("multiplexing_aslr.py")
+        assert result.returncode == 0, result.stderr
+        assert "one multiplexed run" in result.stdout
+
+    def test_latency_threshold(self):
+        result = run_example("latency_threshold_gups.py")
+        assert result.returncode == 0, result.stderr
+        assert "Latency-threshold sweep" in result.stdout

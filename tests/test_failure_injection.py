@@ -1,0 +1,131 @@
+"""Failure injection: corrupted inputs, degenerate data, edge cases.
+
+A tool that analyses other people's traces must fail loudly and
+legibly, not silently produce wrong curves.
+"""
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.extrae.events import EventKind, TraceEvent
+from repro.extrae.trace import SampleTable, Trace
+from repro.folding.detect import FoldInstances, instances_from_iterations
+from repro.folding.fold import fold_samples
+from repro.folding.model import fold_counters
+from repro.folding.report import fold_trace
+from repro.objects.registry import DataObjectRegistry
+from repro.objects.resolver import resolve_trace
+
+
+class TestCorruptedTraceFiles:
+    def test_not_a_zip(self, tmp_path):
+        path = tmp_path / "junk.bsctrace"
+        path.write_bytes(b"this is not a trace")
+        with pytest.raises(zipfile.BadZipFile):
+            Trace.load(path)
+
+    def test_missing_sidecar(self, tmp_path):
+        path = tmp_path / "nosidecar.bsctrace"
+        with zipfile.ZipFile(path, "w") as zf:
+            with zf.open("samples.npz", "w") as f:
+                np.savez(f, **SampleTable.empty().columns())
+        with pytest.raises(KeyError):
+            Trace.load(path)
+
+    def test_missing_samples(self, tmp_path):
+        path = tmp_path / "nosamples.bsctrace"
+        with zipfile.ZipFile(path, "w") as zf:
+            zf.writestr("trace.json", json.dumps(
+                {"metadata": {}, "labels": [], "callstacks": [],
+                 "events": [], "objects": []}
+            ))
+        with pytest.raises(KeyError):
+            Trace.load(path)
+
+    def test_truncated_json(self, tmp_path, hpcg_trace):
+        path = hpcg_trace.save(tmp_path / "ok.bsctrace")
+        # Rewrite with truncated sidecar.
+        bad = tmp_path / "bad.bsctrace"
+        with zipfile.ZipFile(path) as src, zipfile.ZipFile(bad, "w") as dst:
+            with src.open("samples.npz") as f:
+                dst.writestr("samples.npz", f.read())
+            dst.writestr("trace.json", src.read("trace.json")[:50])
+        with pytest.raises(json.JSONDecodeError):
+            Trace.load(bad)
+
+    def test_roundtrip_after_failure_still_works(self, tmp_path, hpcg_trace):
+        """A failed load must not poison subsequent loads."""
+        bad = tmp_path / "bad.bsctrace"
+        bad.write_bytes(b"junk")
+        with pytest.raises(zipfile.BadZipFile):
+            Trace.load(bad)
+        good = hpcg_trace.save(tmp_path / "good.bsctrace")
+        assert Trace.load(good).n_samples == hpcg_trace.n_samples
+
+
+class TestDegenerateFolding:
+    def test_empty_trace_folding_rejected(self):
+        trace = Trace()
+        with pytest.raises(ValueError):
+            fold_trace(trace)
+
+    def test_markers_but_no_samples(self):
+        trace = Trace()
+        trace.add_event(TraceEvent(0.0, EventKind.ITERATION, "it"))
+        trace.add_event(TraceEvent(100.0, EventKind.ITERATION, "it"))
+        trace.add_event(TraceEvent(200.0, EventKind.MARKER, "execution_phase_end"))
+        inst = instances_from_iterations(trace)
+        folded = fold_samples(trace.sample_table(), inst)
+        assert folded.n == 0
+        with pytest.raises(ValueError):
+            fold_counters(folded)
+
+    def test_single_instance_folding(self, hpcg_trace):
+        """Folding a single instance degenerates gracefully to a plain
+        (smoothed) timeline."""
+        inst = instances_from_iterations(hpcg_trace)
+        one = FoldInstances(inst.name, inst.intervals[:1])
+        folded = fold_samples(hpcg_trace.sample_table(), one)
+        fc = fold_counters(folded)
+        assert fc["instructions"].rate.size > 0
+
+    def test_instance_with_zero_counter_delta(self):
+        """A counter that never moves must not produce NaNs."""
+        trace = Trace()
+        # Construct a synthetic table with constant 'branches'.
+        n = 50
+        cols = {k: np.zeros(n, dtype=v.dtype)
+                for k, v in SampleTable.empty().columns().items()}
+        cols["time_ns"] = np.linspace(0, 100, n)
+        cols["instructions"] = np.linspace(0, 1000, n)
+        cols["cycles"] = np.linspace(0, 2000, n)
+        table = SampleTable(cols)
+        inst = FoldInstances("x", ((0.0, 50.0), (50.0, 100.0)))
+        folded = fold_samples(table, inst)
+        fc = fold_counters(folded)
+        assert np.isfinite(fc["branches"].rate).all()
+        assert np.isfinite(fc.per_instruction("branches")).all()
+
+
+class TestResolverEdgeCases:
+    def test_empty_trace_resolves_empty(self):
+        report = resolve_trace(Trace())
+        assert report.n_samples == 0
+        assert report.matched_fraction == 0.0
+        assert report.unmatched_fraction == 0.0
+
+    def test_conflicting_registry_still_usable(self, hpcg_trace):
+        """Duplicate/overlapping records degrade to conflicts, not
+        crashes, and resolution still runs."""
+        records = list(hpcg_trace.objects) + list(hpcg_trace.objects)
+        registry = DataObjectRegistry(records)
+        assert len(registry.conflicts) == len(hpcg_trace.objects)
+        report = resolve_trace(hpcg_trace, registry)
+        assert report.matched_fraction > 0.9
+
+    def test_table_render_with_no_usages(self):
+        report = resolve_trace(Trace())
+        assert "object" in report.to_table()

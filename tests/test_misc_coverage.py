@@ -1,0 +1,113 @@
+"""Focused tests for smaller public surfaces not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.extrae.staticobj import scan_static_objects
+from repro.extrae.trace import Trace
+from repro.memsim.patterns import MemOp, SequentialPattern
+from repro.simproc.isa import KernelBatch
+from repro.simproc.machine import SampleBlock
+from repro.vmem.binimage import BinaryImage
+from repro.vmem.layout import AddressSpace
+
+
+class TestStaticScan:
+    def make_image(self):
+        img = BinaryImage(AddressSpace(np.random.default_rng(0)))
+        img.add_symbol("small_flag", 8)
+        img.add_symbol("lookup_table", 64 * 1024, "rodata")
+        return img
+
+    def test_scan_all(self):
+        records = scan_static_objects(self.make_image())
+        assert [r.name for r in records] == ["small_flag", "lookup_table"]
+        assert all(r.kind == "static" for r in records)
+
+    def test_min_size_filter(self):
+        records = scan_static_objects(self.make_image(), min_size=1024)
+        assert [r.name for r in records] == ["lookup_table"]
+
+    def test_empty_image(self):
+        img = BinaryImage(AddressSpace(np.random.default_rng(1)))
+        assert scan_static_objects(img) == []
+
+
+class TestSampleBlock:
+    def make_block(self, n=5):
+        return SampleBlock(
+            op=MemOp.LOAD,
+            label="k",
+            offsets=np.arange(n),
+            addresses=np.arange(n, dtype=np.uint64) * 64,
+            sources=np.full(n, 5),
+            latencies=np.full(n, 200.0),
+            times_ns=np.linspace(0, 100, n),
+            counters={"instructions": np.linspace(0, 1000, n)},
+        )
+
+    def test_select(self):
+        block = self.make_block()
+        sub = block.select(block.offsets % 2 == 0)
+        assert sub.n == 3
+        np.testing.assert_array_equal(sub.offsets, [0, 2, 4])
+        assert sub.counters["instructions"].size == 3
+        assert sub.label == "k"
+
+    def test_empty_select(self):
+        block = self.make_block()
+        sub = block.select(np.zeros(block.n, dtype=bool))
+        assert sub.n == 0
+
+
+class TestTraceInternTables:
+    def test_label_roundtrip(self):
+        trace = Trace()
+        i = trace.label_id("spmv")
+        j = trace.label_id("symgs")
+        assert trace.label_id("spmv") == i  # stable
+        assert trace.label(i) == "spmv"
+        assert trace.label(j) == "symgs"
+        assert trace.labels == ["spmv", "symgs"]
+
+    def test_callstack_intern(self):
+        from repro.vmem.callstack import CallStack
+
+        trace = Trace()
+        cs = CallStack.single("f", "f.c", 1)
+        i = trace.callstack_id(cs)
+        assert trace.callstack_id(CallStack.single("f", "f.c", 1)) == i
+        assert trace.callstack(i) == cs
+
+
+class TestWorkloadBase:
+    def test_trace_sets_metadata_and_finalizes(self):
+        from repro.pipeline import Session, SessionConfig
+        from repro.workloads.stream import StreamConfig, StreamWorkload
+
+        session = Session(SessionConfig(seed=1))
+        trace = session.run(StreamWorkload(StreamConfig(n=1 << 12, iterations=1)))
+        assert trace.metadata["workload"] == "stream"
+        # finalize() already ran: further execution must fail.
+        with pytest.raises(RuntimeError):
+            session.tracer.execute(
+                KernelBatch("x", (SequentialPattern(0, 8, 8),), instructions=32)
+            )
+
+
+class TestCounterCurveContains:
+    def test_contains_and_getitem(self, hpcg_report):
+        c = hpcg_report.counters
+        assert "instructions" in c
+        assert "nonexistent" not in c
+        assert c["instructions"].name == "instructions"
+
+    def test_new_traffic_counters_folded(self, hpcg_report):
+        """flops/dram_lines/dram_writebacks ride along every sample."""
+        c = hpcg_report.counters
+        for name in ("flops", "dram_lines", "dram_writebacks"):
+            assert name in c
+            assert (c[name].rate >= 0).all()
+        # HPCG does 2 flops per nonzero: flops ~ instructions / 2.26.
+        ratio = c["flops"].total_mean / c["instructions"].total_mean
+        assert 0.2 < ratio < 0.8

@@ -1,0 +1,131 @@
+"""OS-noise injection and the folding's robustness to it.
+
+The outlier pruning of :class:`repro.folding.detect.FoldInstances`
+exists because real iterations get perturbed; these tests inject
+perturbations and verify both the injection and the defense.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import build_figure1
+from repro.folding.detect import instances_from_iterations
+from repro.folding.report import fold_trace
+from repro.pipeline import Session, SessionConfig
+from repro.simproc.noise import NoiseModel
+from repro.workloads import HpcgWorkload
+
+from tests.conftest import hpcg_session_config, small_hpcg_config
+
+from dataclasses import replace
+
+
+def noisy_session(noise, seed=17, **kw):
+    base = hpcg_session_config(seed=seed, **kw)
+    return Session(replace(base, noise=noise))
+
+
+class TestNoiseModel:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            NoiseModel(rate_per_second=-1)
+        with pytest.raises(ValueError):
+            NoiseModel(hiccup_probability=1.5)
+        with pytest.raises(ValueError):
+            NoiseModel(mean_duration_ns=-1)
+
+    def test_zero_rate_injects_nothing(self):
+        m = NoiseModel(rate_per_second=0.0)
+        assert m.stall_after(1e9, np.random.default_rng(0)) == 0.0
+
+    def test_stall_scales_with_rate(self):
+        rng = np.random.default_rng(0)
+        light = NoiseModel(rate_per_second=100, mean_duration_ns=1000)
+        heavy = NoiseModel(rate_per_second=10_000, mean_duration_ns=1000)
+        interval = 1e8  # 100 ms
+        s_light = sum(light.stall_after(interval, rng) for _ in range(20))
+        s_heavy = sum(heavy.stall_after(interval, rng) for _ in range(20))
+        assert s_heavy > 10 * s_light
+
+    def test_expected_magnitude(self):
+        rng = np.random.default_rng(1)
+        m = NoiseModel(rate_per_second=1000, mean_duration_ns=10_000)
+        total = sum(m.stall_after(1e9, rng) for _ in range(10)) / 10
+        # Expectation: 1000 events x 10 us = 10 ms per second.
+        assert total == pytest.approx(1e7, rel=0.3)
+
+
+class TestMachineNoise:
+    def test_noise_dilates_run(self):
+        quiet = Session(hpcg_session_config(seed=17))
+        noisy = noisy_session(NoiseModel(rate_per_second=50_000,
+                                         mean_duration_ns=20_000))
+        wl = small_hpcg_config(n_iterations=2)
+        t_quiet = quiet.run(HpcgWorkload(wl)).metadata["duration_ns"]
+        t_noisy = noisy.run(HpcgWorkload(wl)).metadata["duration_ns"]
+        assert t_noisy > 1.3 * t_quiet
+        assert noisy.machine.noise_ns_injected > 0
+
+    def test_noise_does_not_change_counters(self):
+        quiet = Session(hpcg_session_config(seed=17))
+        noisy = noisy_session(NoiseModel(rate_per_second=50_000,
+                                         mean_duration_ns=20_000))
+        wl = small_hpcg_config(n_iterations=2)
+        quiet.run(HpcgWorkload(wl))
+        noisy.run(HpcgWorkload(wl))
+        assert quiet.machine.counters.instructions == noisy.machine.counters.instructions
+        assert quiet.machine.counters.l1d_misses == noisy.machine.counters.l1d_misses
+
+    def test_noise_deterministic_per_seed(self):
+        noise = NoiseModel(rate_per_second=10_000, mean_duration_ns=20_000)
+        wl = small_hpcg_config(n_iterations=2)
+        t1 = noisy_session(noise, seed=4).run(HpcgWorkload(wl)).metadata["duration_ns"]
+        t2 = noisy_session(noise, seed=4).run(HpcgWorkload(wl)).metadata["duration_ns"]
+        assert t1 == t2
+
+
+class TestFoldingRobustness:
+    @pytest.fixture(scope="class")
+    def hiccup_trace(self):
+        """Many iterations, a few stretched by heavy hiccups."""
+        # ~0.5 ms iterations, ~12 ms total: a rate of 500/s lands a
+        # few 2 ms hiccups on a minority of the 24 iterations.
+        noise = NoiseModel(rate_per_second=500.0, mean_duration_ns=0.0,
+                           hiccup_probability=1.0,
+                           hiccup_duration_ns=2_000_000.0)
+        session = noisy_session(noise, seed=23)
+        return session.run(HpcgWorkload(small_hpcg_config(n_iterations=24)))
+
+    def test_hiccups_create_outlier_instances(self, hiccup_trace):
+        inst = instances_from_iterations(hiccup_trace)
+        durations = inst.durations_ns
+        median = float(np.median(durations))
+        assert (durations > 1.25 * median).any(), "injection produced outliers"
+
+    def test_pruning_removes_outliers(self, hiccup_trace):
+        inst = instances_from_iterations(hiccup_trace)
+        pruned = inst.prune_outliers(0.25)
+        assert pruned.n < inst.n
+        durations = pruned.durations_ns
+        assert durations.max() <= 1.25 * np.median(durations) + 1e-6
+
+    def test_pruned_fold_matches_quiet_run(self, hiccup_trace):
+        """After pruning, the noisy run's folded analysis agrees with a
+        quiet run's; without pruning it is visibly degraded."""
+        quiet_trace = Session(hpcg_session_config(seed=23)).run(
+            HpcgWorkload(small_hpcg_config(n_iterations=24))
+        )
+        quiet = build_figure1(fold_trace(quiet_trace))
+        pruned = build_figure1(fold_trace(hiccup_trace, prune_tolerance=0.25))
+        assert pruned.phases.major_sequence() == quiet.phases.major_sequence()
+        # Sub-threshold hiccup remnants stretch even the kept
+        # iterations slightly, so allow 15 %.
+        for label in ("a1", "B"):
+            assert pruned.bandwidth_MBps[label] == pytest.approx(
+                quiet.bandwidth_MBps[label], rel=0.15
+            )
+        # Unpruned folding is dragged by the stretched instances.
+        raw = build_figure1(fold_trace(hiccup_trace, prune_tolerance=None))
+        err_raw = abs(raw.bandwidth_MBps["a1"] - quiet.bandwidth_MBps["a1"])
+        err_pruned = abs(pruned.bandwidth_MBps["a1"] - quiet.bandwidth_MBps["a1"])
+        assert err_pruned < err_raw

@@ -1,0 +1,58 @@
+"""Tests for the multi-rank substrate."""
+
+import pytest
+
+from repro.parallel import RankSet
+from repro.pipeline import SessionConfig
+from repro.workloads import HpcgConfig, HpcgWorkload
+
+
+def factory(rank, n_ranks):
+    return HpcgWorkload(
+        HpcgConfig(nx=8, ny=8, nz=8, nlevels=1, n_iterations=2,
+                   rank=rank, npz=n_ranks)
+    )
+
+
+class TestRankSet:
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ValueError):
+            RankSet(0)
+
+    def test_runs_all_ranks(self):
+        results = RankSet(3, SessionConfig(seed=0)).run(factory)
+        assert [r.rank for r in results] == [0, 1, 2]
+        for r in results:
+            assert r.trace.metadata["rank"] == r.rank
+            assert r.trace.metadata["n_ranks"] == 3
+            assert r.trace.n_samples > 0
+
+    def test_ranks_have_distinct_aslr(self):
+        results = RankSet(3, SessionConfig(seed=0)).run(factory)
+        spans = {r.trace.metadata["annotations"]["matrix_span"][0] for r in results}
+        assert len(spans) == 3
+
+    def test_halo_configuration_per_rank(self):
+        results = RankSet(3, SessionConfig(seed=0)).run(factory)
+        ann0 = results[0].trace.metadata["annotations"]
+        ann1 = results[1].trace.metadata["annotations"]
+        ann2 = results[2].trace.metadata["annotations"]
+        assert "bottom" not in ann0 and "top" in ann0
+        assert "bottom" in ann1 and "top" in ann1
+        assert "bottom" in ann2 and "top" not in ann2
+
+    def test_interior_rank_shortcut(self):
+        result = RankSet(5, SessionConfig(seed=1)).run_interior_rank(factory)
+        assert result.rank == 2
+        ann = result.trace.metadata["annotations"]
+        assert "bottom" in ann and "top" in ann
+
+    def test_interior_rank_matches_full_run(self):
+        cfg = SessionConfig(seed=3)
+        full = RankSet(3, cfg).run(factory)[1]
+        solo = RankSet(3, cfg).run_interior_rank(factory)
+        assert solo.rank == 1
+        assert (
+            solo.trace.metadata["annotations"]["matrix_span"]
+            == full.trace.metadata["annotations"]["matrix_span"]
+        )

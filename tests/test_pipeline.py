@@ -1,0 +1,60 @@
+"""Tests for the high-level session/pipeline API."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.analytic import AnalyticEngine
+from repro.memsim.hierarchy import PreciseEngine
+from repro.pipeline import Session, SessionConfig, analyze_hpcg, run_workload
+from repro.workloads import HpcgConfig, HpcgWorkload
+from repro.workloads.stream import StreamConfig, StreamWorkload
+
+from tests.conftest import small_hpcg_config
+
+
+class TestSessionConfig:
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            SessionConfig(engine="magic")
+
+    def test_with_seed(self):
+        cfg = SessionConfig(seed=1)
+        assert cfg.with_seed(9).seed == 9
+        assert cfg.seed == 1  # original untouched
+
+
+class TestSession:
+    def test_engine_selection(self):
+        assert isinstance(Session(SessionConfig(engine="analytic")).machine.engine,
+                          AnalyticEngine)
+        assert isinstance(Session(SessionConfig(engine="precise")).machine.engine,
+                          PreciseEngine)
+
+    def test_metadata_seeded(self):
+        s = Session(SessionConfig(seed=42))
+        assert s.tracer.trace.metadata["seed"] == 42
+
+    def test_same_seed_identical_sessions(self):
+        w1 = StreamWorkload(StreamConfig(n=1 << 14, iterations=2))
+        w2 = StreamWorkload(StreamConfig(n=1 << 14, iterations=2))
+        t1 = Session(SessionConfig(seed=5)).run(w1)
+        t2 = Session(SessionConfig(seed=5)).run(w2)
+        np.testing.assert_array_equal(
+            t1.sample_table().address, t2.sample_table().address
+        )
+
+    def test_run_workload_oneshot(self):
+        trace = run_workload(StreamWorkload(StreamConfig(n=1 << 14, iterations=2)))
+        assert trace.metadata["workload"] == "stream"
+        assert trace.n_samples > 0
+
+
+class TestAnalyzeHpcg:
+    def test_end_to_end(self):
+        trace = run_workload(
+            HpcgWorkload(small_hpcg_config(n_iterations=3)),
+            SessionConfig(seed=2),
+        )
+        report, figure = analyze_hpcg(trace)
+        assert figure.phases.major_sequence() == ["A", "B", "C", "D", "E"]
+        assert report.samples.n > 0

@@ -1,0 +1,86 @@
+"""Unit tests for repro.util.bitops."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitops import align_down, align_up, ceil_div, ilog2, is_pow2, line_index
+
+
+class TestIsPow2:
+    def test_powers(self):
+        for k in range(0, 48):
+            assert is_pow2(1 << k)
+
+    def test_non_powers(self):
+        for x in (0, -1, -2, 3, 5, 6, 7, 9, 100, (1 << 20) + 1):
+            assert not is_pow2(x)
+
+
+class TestIlog2:
+    def test_exact(self):
+        for k in range(0, 48):
+            assert ilog2(1 << k) == k
+
+    @pytest.mark.parametrize("bad", [0, -4, 3, 12, 100])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ValueError):
+            ilog2(bad)
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "a,b,expected", [(0, 1, 0), (1, 1, 1), (7, 2, 4), (8, 2, 4), (9, 2, 5)]
+    )
+    def test_values(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+    @given(st.integers(0, 10**12), st.integers(1, 10**6))
+    def test_matches_math(self, a, b):
+        got = ceil_div(a, b)
+        assert (got - 1) * b < a or a == 0
+        assert got * b >= a
+
+
+class TestAlign:
+    def test_align_up(self):
+        assert align_up(0, 64) == 0
+        assert align_up(1, 64) == 64
+        assert align_up(64, 64) == 64
+        assert align_up(65, 64) == 128
+
+    def test_align_down(self):
+        assert align_down(0, 64) == 0
+        assert align_down(63, 64) == 0
+        assert align_down(64, 64) == 64
+        assert align_down(127, 64) == 64
+
+    def test_rejects_non_pow2_alignment(self):
+        with pytest.raises(ValueError):
+            align_up(10, 48)
+        with pytest.raises(ValueError):
+            align_down(10, 0)
+
+    @given(st.integers(0, 2**48), st.sampled_from([1, 2, 8, 64, 4096]))
+    def test_roundtrip_properties(self, x, a):
+        up, down = align_up(x, a), align_down(x, a)
+        assert down <= x <= up
+        assert up - down in (0, a)
+        assert up % a == 0 and down % a == 0
+
+
+class TestLineIndex:
+    def test_basic(self):
+        addrs = np.array([0, 63, 64, 127, 128], dtype=np.uint64)
+        np.testing.assert_array_equal(line_index(addrs, 64), [0, 0, 1, 1, 2])
+
+    def test_large_addresses(self):
+        addr = np.array([2**47 + 65], dtype=np.uint64)
+        assert line_index(addr, 64)[0] == (2**47 + 65) // 64

@@ -1,0 +1,153 @@
+"""Unit tests for repro.util.intervals."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.intervals import AddressRangeMap, Interval
+
+
+class TestInterval:
+    def test_basic(self):
+        iv = Interval(10, 20, "x")
+        assert iv.size == 10
+        assert iv.contains(10)
+        assert iv.contains(19)
+        assert not iv.contains(20)
+        assert not iv.contains(9)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Interval(5, 5)
+        with pytest.raises(ValueError):
+            Interval(5, 4)
+
+    def test_overlaps(self):
+        a = Interval(0, 10)
+        assert a.overlaps(Interval(9, 11))
+        assert a.overlaps(Interval(0, 1))
+        assert not a.overlaps(Interval(10, 20))
+        assert not a.overlaps(Interval(20, 30))
+
+    def test_ordering_by_position(self):
+        ivs = [Interval(20, 30, {"un": 1}), Interval(0, 10, {"cmp": 2})]
+        assert sorted(ivs)[0].start == 0
+
+
+class TestAddressRangeMap:
+    def test_add_and_find(self):
+        m = AddressRangeMap()
+        m.add(100, 200, "a")
+        m.add(300, 400, "b")
+        assert m.find(150).payload == "a"
+        assert m.find(100).payload == "a"
+        assert m.find(199).payload == "a"
+        assert m.find(200) is None
+        assert m.find(50) is None
+        assert m.find(399).payload == "b"
+
+    def test_rejects_overlap(self):
+        m = AddressRangeMap()
+        m.add(100, 200)
+        with pytest.raises(ValueError):
+            m.add(150, 250)
+        with pytest.raises(ValueError):
+            m.add(50, 101)
+        with pytest.raises(ValueError):
+            m.add(120, 180)
+        # Touching is fine.
+        m.add(200, 300)
+        m.add(50, 100)
+        assert len(m) == 3
+
+    def test_remove(self):
+        m = AddressRangeMap()
+        m.add(10, 20, "x")
+        m.add(30, 40, "y")
+        removed = m.remove(10)
+        assert removed.payload == "x"
+        assert m.find(15) is None
+        assert m.find(35).payload == "y"
+        with pytest.raises(KeyError):
+            m.remove(10)
+
+    def test_find_bulk_matches_scalar(self):
+        m = AddressRangeMap()
+        m.add(0x1000, 0x2000, "lo")
+        m.add(0x8000, 0x9000, "hi")
+        addrs = np.array([0x0, 0x1000, 0x1FFF, 0x2000, 0x8500, 0xFFFF], dtype=np.uint64)
+        idx = m.find_bulk(addrs)
+        for a, i in zip(addrs, idx):
+            scalar = m.find(int(a))
+            if i == -1:
+                assert scalar is None
+            else:
+                assert scalar is m.interval_at(int(i))
+
+    def test_find_bulk_empty_map(self):
+        m = AddressRangeMap()
+        idx = m.find_bulk(np.array([1, 2, 3], dtype=np.uint64))
+        assert (idx == -1).all()
+
+    def test_find_bulk_reindexes_after_mutation(self):
+        m = AddressRangeMap()
+        m.add(0, 10)
+        m.find_bulk(np.array([5], dtype=np.uint64))  # freezes
+        m.add(20, 30, "late")
+        idx = m.find_bulk(np.array([25], dtype=np.uint64))
+        assert idx[0] != -1
+        assert m.interval_at(int(idx[0])).payload == "late"
+
+    def test_coverage_and_bounds(self):
+        m = AddressRangeMap()
+        assert m.bounds() is None
+        m.add(10, 20)
+        m.add(40, 45)
+        assert m.coverage_bytes() == 15
+        assert m.bounds() == (10, 45)
+
+    def test_iteration_is_sorted(self):
+        m = AddressRangeMap()
+        m.add(300, 400)
+        m.add(100, 200)
+        m.add(250, 260)
+        starts = [iv.start for iv in m]
+        assert starts == sorted(starts)
+
+
+@st.composite
+def disjoint_intervals(draw):
+    """Random set of disjoint intervals plus probe addresses."""
+    n = draw(st.integers(1, 20))
+    cuts = sorted(draw(st.sets(st.integers(0, 10_000), min_size=2 * n, max_size=2 * n)))
+    ivs = [(cuts[2 * i], cuts[2 * i + 1]) for i in range(n)]
+    probes = draw(st.lists(st.integers(0, 10_100), min_size=1, max_size=50))
+    return ivs, probes
+
+
+class TestAddressRangeMapProperties:
+    @given(disjoint_intervals())
+    def test_bulk_scalar_agree(self, data):
+        ivs, probes = data
+        m = AddressRangeMap()
+        for lo, hi in ivs:
+            m.add(lo, hi, (lo, hi))
+        bulk = m.find_bulk(np.asarray(probes, dtype=np.uint64))
+        for p, i in zip(probes, bulk):
+            scalar = m.find(p)
+            if scalar is None:
+                assert i == -1
+            else:
+                assert m.interval_at(int(i)) is scalar
+                assert scalar.start <= p < scalar.end
+
+    @given(disjoint_intervals())
+    def test_every_inserted_point_found(self, data):
+        ivs, _ = data
+        m = AddressRangeMap()
+        for lo, hi in ivs:
+            m.add(lo, hi)
+        for lo, hi in ivs:
+            assert m.find(lo) is not None
+            assert m.find(hi - 1) is not None

@@ -1,0 +1,130 @@
+"""Unit tests for repro.util.pava (isotonic regression)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.pava import isotonic_fit, pava
+
+
+class TestPava:
+    def test_already_monotone_unchanged(self):
+        y = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(pava(y), y)
+
+    def test_single_violation_pools(self):
+        y = np.array([2.0, 1.0])
+        np.testing.assert_allclose(pava(y), [1.5, 1.5])
+
+    def test_weighted_pooling(self):
+        y = np.array([2.0, 1.0])
+        w = np.array([3.0, 1.0])
+        np.testing.assert_allclose(pava(y, w), [1.75, 1.75])
+
+    def test_decreasing_input_pools_to_mean(self):
+        y = np.array([5.0, 4.0, 3.0, 2.0, 1.0])
+        np.testing.assert_allclose(pava(y), np.full(5, 3.0))
+
+    def test_empty_and_single(self):
+        assert pava(np.array([])).size == 0
+        np.testing.assert_allclose(pava(np.array([7.0])), [7.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            pava(np.zeros((2, 2)))
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(ValueError):
+            pava(np.array([1.0, 2.0]), np.array([1.0, 0.0]))
+
+    def test_rejects_weight_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pava(np.array([1.0, 2.0]), np.array([1.0]))
+
+    @given(
+        st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=60)
+    )
+    @settings(max_examples=80)
+    def test_output_is_monotone(self, values):
+        f = pava(np.asarray(values))
+        assert (np.diff(f) >= -1e-9).all()
+
+    @given(
+        st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=40)
+    )
+    @settings(max_examples=60)
+    def test_preserves_weighted_mean(self, values):
+        y = np.asarray(values)
+        f = pava(y)
+        assert f.mean() == pytest.approx(y.mean(), rel=1e-9, abs=1e-9)
+
+    @given(
+        st.lists(st.floats(-50, 50, allow_nan=False), min_size=2, max_size=30)
+    )
+    @settings(max_examples=60)
+    def test_optimality_blockwise(self, values):
+        """Each constant block equals the mean of its inputs (KKT)."""
+        y = np.asarray(values)
+        f = pava(y)
+        # Identify blocks of equal fitted value.
+        edges = np.nonzero(np.diff(f) > 1e-12)[0] + 1
+        blocks = np.split(np.arange(y.size), edges)
+        for b in blocks:
+            assert f[b[0]] == pytest.approx(y[b].mean(), rel=1e-9, abs=1e-9)
+
+    def test_matches_scipy(self):
+        scipy_iso = pytest.importorskip("scipy.optimize")
+        if not hasattr(scipy_iso, "isotonic_regression"):
+            pytest.skip("scipy too old")
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            y = rng.normal(size=50)
+            w = rng.uniform(0.1, 2.0, size=50)
+            ours = pava(y, w)
+            ref = scipy_iso.isotonic_regression(y, weights=w).x
+            np.testing.assert_allclose(ours, ref, atol=1e-10)
+
+
+class TestIsotonicFit:
+    def test_reconstructs_smooth_monotone_curve(self):
+        rng = np.random.default_rng(3)
+        x = rng.random(800)
+        truth = np.clip(x**2, 0, 1)
+        y = truth + rng.normal(0, 0.02, size=x.size)
+        grid = np.linspace(0, 1, 101)
+        fit = isotonic_fit(x, y, grid, bandwidth=0.03)
+        assert (np.diff(fit) >= -1e-12).all()
+        err = np.abs(fit - grid**2)
+        assert err.mean() < 0.02
+
+    def test_constant_data(self):
+        x = np.linspace(0, 1, 50)
+        y = np.full(50, 0.7)
+        fit = isotonic_fit(x, y, np.linspace(0, 1, 11))
+        np.testing.assert_allclose(fit, 0.7, atol=1e-9)
+
+    def test_single_sample(self):
+        fit = isotonic_fit(np.array([0.5]), np.array([2.0]), np.linspace(0, 1, 5))
+        np.testing.assert_allclose(fit, 2.0, atol=1e-9)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            isotonic_fit(np.array([]), np.array([]), np.linspace(0, 1, 5))
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            isotonic_fit(np.array([0.5]), np.array([1.0]), np.array([0.5]), bandwidth=0)
+
+    def test_rejects_mismatched_xy(self):
+        with pytest.raises(ValueError):
+            isotonic_fit(np.array([0.1, 0.2]), np.array([1.0]), np.array([0.5]))
+
+    def test_weights_shift_fit(self):
+        x = np.array([0.5, 0.5])
+        y = np.array([0.0, 1.0])
+        grid = np.array([0.5])
+        even = isotonic_fit(x, y, grid, bandwidth=0.1)
+        heavy = isotonic_fit(x, y, grid, bandwidth=0.1, weights=np.array([1.0, 9.0]))
+        assert even[0] == pytest.approx(0.5)
+        assert heavy[0] == pytest.approx(0.9)

@@ -1,0 +1,54 @@
+"""Unit tests for repro.util.rng."""
+
+import pytest
+
+from repro.util.rng import RngStreams
+
+
+class TestRngStreams:
+    def test_same_seed_same_streams(self):
+        a = RngStreams(7).get("x").random(5)
+        b = RngStreams(7).get("x").random(5)
+        assert (a == b).all()
+
+    def test_different_names_differ(self):
+        s = RngStreams(7)
+        assert not (s.get("a").random(8) == s.get("b").random(8)).all()
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).get("x").random(8)
+        b = RngStreams(2).get("x").random(8)
+        assert not (a == b).all()
+
+    def test_get_is_cached(self):
+        s = RngStreams(0)
+        assert s.get("x") is s.get("x")
+
+    def test_fresh_replays_from_start(self):
+        s = RngStreams(3)
+        first = s.get("x").random(4)
+        replay = s.fresh("x").random(4)
+        assert (first == replay).all()
+
+    def test_draw_order_independence(self):
+        """Adding a consumer must not perturb existing streams."""
+        s1 = RngStreams(11)
+        _ = s1.get("new-consumer").random(100)
+        a = s1.get("x").random(5)
+        s2 = RngStreams(11)
+        b = s2.get("x").random(5)
+        assert (a == b).all()
+
+    def test_spawn_children_independent(self):
+        s = RngStreams(5)
+        c1 = s.spawn("rank0")
+        c2 = s.spawn("rank1")
+        assert c1.seed != c2.seed
+        assert not (c1.get("x").random(8) == c2.get("x").random(8)).all()
+
+    def test_spawn_deterministic(self):
+        assert RngStreams(5).spawn("r").seed == RngStreams(5).spawn("r").seed
+
+    def test_rejects_non_int_seed(self):
+        with pytest.raises(TypeError):
+            RngStreams("abc")

@@ -1,0 +1,140 @@
+"""Unit tests for repro.util.stats."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import Histogram, OnlineStats, weighted_quantile
+
+finite_floats = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestOnlineStats:
+    def test_empty(self):
+        s = OnlineStats()
+        assert s.count == 0
+        assert math.isnan(s.mean)
+        assert math.isnan(s.std)
+
+    def test_scalar_adds(self):
+        s = OnlineStats()
+        for v in [1.0, 2.0, 3.0]:
+            s.add(v)
+        assert s.count == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.variance == pytest.approx(2.0 / 3.0)
+        assert s.min == 1.0 and s.max == 3.0
+
+    def test_array_add_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(3.0, 2.0, size=1000)
+        s = OnlineStats()
+        s.add(data)
+        assert s.mean == pytest.approx(data.mean())
+        assert s.variance == pytest.approx(data.var())
+
+    def test_chunked_equals_single_shot(self):
+        rng = np.random.default_rng(1)
+        data = rng.random(997)
+        whole, parts = OnlineStats(), OnlineStats()
+        whole.add(data)
+        for chunk in np.array_split(data, 13):
+            parts.add(chunk)
+        assert parts.mean == pytest.approx(whole.mean)
+        assert parts.variance == pytest.approx(whole.variance)
+        assert parts.count == whole.count
+
+    def test_merge(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.random(100), rng.random(57)
+        sa, sb = OnlineStats(), OnlineStats()
+        sa.add(a)
+        sb.add(b)
+        sa.merge(sb)
+        both = np.concatenate([a, b])
+        assert sa.count == 157
+        assert sa.mean == pytest.approx(both.mean())
+        assert sa.variance == pytest.approx(both.var())
+
+    def test_merge_with_empty(self):
+        s = OnlineStats()
+        s.add([1.0, 2.0])
+        s.merge(OnlineStats())
+        assert s.count == 2
+        empty = OnlineStats()
+        empty.merge(s)
+        assert empty.mean == pytest.approx(1.5)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_matches_numpy_property(self, values):
+        s = OnlineStats()
+        for v in values:
+            s.add(v)
+        arr = np.asarray(values)
+        assert s.mean == pytest.approx(arr.mean(), rel=1e-9, abs=1e-6)
+        assert s.variance == pytest.approx(arr.var(), rel=1e-6, abs=1e-6)
+
+
+class TestHistogram:
+    def test_basic_binning(self):
+        h = Histogram(0.0, 10.0, 10)
+        h.add([0.5, 1.5, 1.6, 9.9])
+        assert h.counts[0] == 1
+        assert h.counts[1] == 2
+        assert h.counts[9] == 1
+        assert h.total == 4
+
+    def test_under_overflow(self):
+        h = Histogram(0.0, 1.0, 4)
+        h.add([-0.1, 0.5, 1.0, 2.0])
+        assert h.underflow == 1
+        assert h.overflow == 2  # hi is exclusive
+        assert h.counts.sum() == 1
+
+    def test_quantile(self):
+        h = Histogram(0.0, 100.0, 100)
+        h.add(np.arange(100) + 0.5)
+        assert h.quantile(0.5) == pytest.approx(49.5, abs=1.5)
+        assert h.quantile(0.0) == pytest.approx(0.5, abs=1.0)
+
+    def test_quantile_empty_is_nan(self):
+        assert math.isnan(Histogram(0, 1, 4).quantile(0.5))
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            Histogram(1.0, 1.0, 10)
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0, 0)
+
+
+class TestWeightedQuantile:
+    def test_uniform_weights_match_median(self):
+        v = [1.0, 2.0, 3.0, 4.0, 5.0]
+        w = [1.0] * 5
+        assert weighted_quantile(v, w, 0.5) == 3.0
+
+    def test_heavy_weight_dominates(self):
+        assert weighted_quantile([1.0, 100.0], [1.0, 99.0], 0.5) == 100.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(weighted_quantile([], [], 0.5))
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            weighted_quantile([1.0], [-1.0], 0.5)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_quantile([1.0, 2.0], [1.0], 0.5)
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=30),
+        st.floats(0.0, 1.0),
+    )
+    def test_result_is_an_observed_value(self, values, q):
+        w = np.ones(len(values))
+        got = weighted_quantile(values, w, q)
+        assert got in values

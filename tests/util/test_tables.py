@@ -1,0 +1,40 @@
+"""Unit tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        out = format_table(["phase", "MB/s"], [("a1", 4197.0), ("B", 6427.0)])
+        lines = out.splitlines()
+        assert lines[0].startswith("| phase")
+        assert "4,197.0" in out
+        assert "6,427.0" in out
+        # Numeric column is right-aligned (separator ends with ':').
+        assert lines[1].endswith(":|")
+
+    def test_title(self):
+        out = format_table(["a"], [(1,)], title="My Table")
+        assert out.startswith("### My Table")
+
+    def test_bools_render_as_words(self):
+        out = format_table(["ok"], [(True,), (False,)])
+        assert "yes" in out and "no" in out
+
+    def test_mixed_text_column_left_aligned(self):
+        out = format_table(["name", "n"], [("x", 1), ("longer", 2)])
+        assert "| x      |" in out
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_custom_floatfmt(self):
+        out = format_table(["v"], [(3.14159,)], floatfmt=".3f")
+        assert "3.142" in out
+
+    def test_empty_body(self):
+        out = format_table(["a", "b"], [])
+        assert out.count("\n") == 1  # header + separator only

@@ -1,0 +1,198 @@
+"""Tests for the glibc-style allocator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vmem.allocator import Allocator, AllocatorError
+from repro.vmem.callstack import CallStack
+from repro.vmem.layout import AddressSpace
+
+
+def make_alloc(seed=0, threshold=128 * 1024):
+    return Allocator(AddressSpace(np.random.default_rng(seed)), threshold)
+
+
+SITE = CallStack.single("GenerateProblem", "GenerateProblem_ref.cpp", 108)
+
+
+class TestMallocFree:
+    def test_basic_malloc(self):
+        a = make_alloc()
+        p = a.malloc(100, SITE)
+        alloc = a.allocation_at(p)
+        assert alloc is not None
+        assert alloc.size == 100
+        assert alloc.site is SITE
+        assert not alloc.via_mmap
+        assert p % 16 == 0
+
+    def test_consecutive_small_allocations_adjacent(self):
+        """HPCG's per-row arrays: small mallocs land back-to-back —
+        the property the paper's grouping relies on."""
+        a = make_alloc()
+        ptrs = [a.malloc(216) for _ in range(100)]
+        diffs = np.diff(ptrs)
+        assert (diffs == diffs[0]).all()
+        assert diffs[0] == 224 + 16  # aligned size + header
+
+    def test_large_allocation_goes_to_mmap(self):
+        a = make_alloc()
+        p = a.malloc(1 << 20)
+        alloc = a.allocation_at(p)
+        assert alloc.via_mmap
+        assert a.space.segment_of(p) == "mmap"
+        assert a.stats.mmap_allocs == 1
+
+    def test_small_allocation_on_heap(self):
+        a = make_alloc()
+        p = a.malloc(64)
+        assert a.space.segment_of(p) == "heap"
+
+    def test_malloc_zero_unique(self):
+        a = make_alloc()
+        p1, p2 = a.malloc(0), a.malloc(0)
+        assert p1 != p2
+
+    def test_malloc_negative_rejected(self):
+        with pytest.raises(AllocatorError):
+            make_alloc().malloc(-1)
+
+    def test_free_and_reuse(self):
+        a = make_alloc()
+        p = a.malloc(64)
+        a.free(p)
+        q = a.malloc(64)
+        assert q == p  # first-fit reuses the freed chunk
+
+    def test_free_list_split(self):
+        a = make_alloc()
+        p = a.malloc(1024)
+        a.free(p)
+        small = a.malloc(64)
+        assert small == p
+        # Remainder is still reusable.
+        rest = a.malloc(512)
+        assert p < rest < p + 1024 + 64
+
+    def test_double_free_rejected(self):
+        a = make_alloc()
+        p = a.malloc(10)
+        a.free(p)
+        with pytest.raises(AllocatorError):
+            a.free(p)
+
+    def test_free_wild_pointer_rejected(self):
+        with pytest.raises(AllocatorError):
+            make_alloc().free(0xDEADBEEF)
+
+    def test_calloc(self):
+        a = make_alloc()
+        p = a.calloc(10, 8)
+        assert a.allocation_at(p).size == 80
+
+    def test_new_is_malloc_like(self):
+        a = make_alloc()
+        p = a.new(216, SITE)
+        assert a.allocation_at(p).site is SITE
+
+
+class TestRealloc:
+    def test_grow_moves(self):
+        a = make_alloc()
+        p = a.malloc(64)
+        a.malloc(64)  # block in-place growth
+        q = a.realloc(p, 256)
+        assert q != p
+        assert a.allocation_at(q).size == 256
+        assert a.allocation_at(p) is None
+
+    def test_shrink_in_place(self):
+        a = make_alloc()
+        p = a.malloc(256)
+        q = a.realloc(p, 64)
+        assert q == p
+        assert a.allocation_at(p).size == 64
+
+    def test_realloc_null_is_malloc(self):
+        a = make_alloc()
+        p = a.realloc(0, 128)
+        assert a.allocation_at(p).size == 128
+
+    def test_realloc_wild_pointer_rejected(self):
+        with pytest.raises(AllocatorError):
+            make_alloc().realloc(0x1234, 10)
+
+    def test_realloc_counters(self):
+        a = make_alloc()
+        p = a.malloc(64)
+        a.realloc(p, 1024)
+        assert a.stats.n_reallocs == 1
+        assert a.stats.n_mallocs == 1  # realloc not double-counted
+
+
+class TestStatsAndObservers:
+    def test_live_and_peak(self):
+        a = make_alloc()
+        p = a.malloc(100)
+        q = a.malloc(200)
+        assert a.stats.live_bytes == 300
+        assert a.stats.peak_bytes == 300
+        a.free(p)
+        assert a.stats.live_bytes == 200
+        a.free(q)
+        assert a.stats.live_bytes == 0
+        assert a.stats.peak_bytes == 300
+
+    def test_observer_sees_events(self):
+        a = make_alloc()
+        events = []
+        a.add_observer(lambda ev, alloc, old: events.append((ev, alloc.size)))
+        p = a.malloc(64)
+        p = a.realloc(p, 1024)
+        a.free(p)
+        kinds = [e[0] for e in events]
+        assert kinds[0] == "alloc"
+        assert "realloc" in kinds
+        assert kinds[-1] == "free"
+
+    def test_observer_removal(self):
+        a = make_alloc()
+        events = []
+        obs = lambda ev, alloc, old: events.append(ev)
+        a.add_observer(obs)
+        a.malloc(8)
+        a.remove_observer(obs)
+        a.malloc(8)
+        assert len(events) == 1
+
+    def test_live_allocations_in_order(self):
+        a = make_alloc()
+        a.malloc(10)
+        a.malloc(20)
+        sizes = [x.size for x in a.live_allocations()]
+        assert sizes == [10, 20]
+
+    def test_usable_size(self):
+        a = make_alloc()
+        p = a.malloc(100)
+        assert a.usable_size(p) == 112
+        with pytest.raises(AllocatorError):
+            a.usable_size(0x1)
+
+
+class TestNoOverlapInvariant:
+    @given(st.lists(st.tuples(st.integers(1, 5000), st.booleans()), min_size=1, max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_live_allocations_never_overlap(self, ops):
+        a = make_alloc(threshold=2048)
+        live = []
+        for size, do_free in ops:
+            p = a.malloc(size)
+            live.append(p)
+            if do_free and live:
+                a.free(live.pop(0))
+        allocs = sorted(a.live_allocations(), key=lambda x: x.address)
+        for prev, nxt in zip(allocs, allocs[1:]):
+            assert prev.end <= nxt.address, (prev, nxt)

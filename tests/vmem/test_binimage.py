@@ -1,0 +1,71 @@
+"""Tests for the binary image / static symbol table."""
+
+import numpy as np
+import pytest
+
+from repro.vmem.binimage import BinaryImage
+from repro.vmem.layout import AddressSpace
+
+
+def make_image(seed=0):
+    return BinaryImage(AddressSpace(np.random.default_rng(seed)))
+
+
+class TestBinaryImage:
+    def test_symbols_placed_in_data_segment(self):
+        img = make_image()
+        sym = img.add_symbol("global_counters", 4096, "bss")
+        assert img.space.segment_of(sym.address) == "data"
+        assert sym.end <= img.space.data_end
+
+    def test_symbols_do_not_overlap(self):
+        img = make_image()
+        a = img.add_symbol("a", 100)
+        b = img.add_symbol("b", 100)
+        assert a.end <= b.address
+
+    def test_alignment(self):
+        img = make_image()
+        img.add_symbol("odd", 3)
+        sym = img.add_symbol("aligned", 8, align=64)
+        assert sym.address % 64 == 0
+
+    def test_lookup_by_name(self):
+        img = make_image()
+        img.add_symbol("x", 8)
+        assert img.symbol("x").name == "x"
+        with pytest.raises(KeyError):
+            img.symbol("missing")
+
+    def test_contains_and_len(self):
+        img = make_image()
+        img.add_symbol("x", 8)
+        assert "x" in img and "y" not in img
+        assert len(img) == 1
+
+    def test_symbols_sorted_by_address(self):
+        img = make_image()
+        img.add_symbol("a", 10)
+        img.add_symbol("b", 10)
+        img.add_symbol("c", 10)
+        addrs = [s.address for s in img.symbols()]
+        assert addrs == sorted(addrs)
+
+    def test_duplicate_rejected(self):
+        img = make_image()
+        img.add_symbol("x", 8)
+        with pytest.raises(ValueError):
+            img.add_symbol("x", 8)
+
+    def test_bad_section_rejected(self):
+        with pytest.raises(ValueError):
+            make_image().add_symbol("x", 8, section="text")
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_image().add_symbol("x", 0)
+
+    def test_segment_overflow_rejected(self):
+        img = make_image()
+        with pytest.raises(ValueError):
+            img.add_symbol("huge", 1 << 30)

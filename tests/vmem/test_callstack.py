@@ -1,0 +1,70 @@
+"""Tests for call-stack frames and the paper's site naming."""
+
+import pytest
+
+from repro.vmem.callstack import CallStack, Frame
+
+
+class TestFrame:
+    def test_basename(self):
+        f = Frame("GenerateProblem", "src/GenerateProblem_ref.cpp", 108)
+        assert f.basename == "GenerateProblem_ref.cpp"
+
+    def test_str(self):
+        f = Frame("main", "main.cpp", 42)
+        assert str(f) == "main (main.cpp:42)"
+
+    def test_rejects_negative_line(self):
+        with pytest.raises(ValueError):
+            Frame("f", "x.c", -1)
+
+    def test_hashable(self):
+        assert hash(Frame("f", "x.c", 1)) == hash(Frame("f", "x.c", 1))
+
+
+class TestCallStack:
+    def stack(self):
+        return CallStack(
+            (
+                Frame("main", "main.cpp", 10),
+                Frame("GenerateProblem", "GenerateProblem_ref.cpp", 124),
+            )
+        )
+
+    def test_site_id_matches_paper_format(self):
+        assert self.stack().site_id() == "124_GenerateProblem_ref.cpp"
+
+    def test_leaf_and_depth(self):
+        s = self.stack()
+        assert s.leaf.function == "GenerateProblem"
+        assert s.depth == 2
+
+    def test_push_pop(self):
+        s = self.stack()
+        s2 = s.push(Frame("helper", "h.cpp", 7))
+        assert s2.depth == 3
+        assert s2.leaf.function == "helper"
+        assert s2.pop() == s
+
+    def test_pop_last_frame_rejected(self):
+        s = CallStack.single("main", "m.c", 1)
+        with pytest.raises(ValueError):
+            s.pop()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CallStack(())
+
+    def test_hashable_and_equal(self):
+        assert self.stack() == self.stack()
+        assert hash(self.stack()) == hash(self.stack())
+
+    def test_list_coerced_to_tuple(self):
+        s = CallStack([Frame("m", "m.c", 1)])  # type: ignore[arg-type]
+        assert isinstance(s.frames, tuple)
+
+    def test_str_joins_frames(self):
+        assert " > " in str(self.stack())
+
+    def test_iter(self):
+        assert [f.function for f in self.stack()] == ["main", "GenerateProblem"]

@@ -1,0 +1,89 @@
+"""Tests for the ASLR-randomized address-space layout."""
+
+import numpy as np
+import pytest
+
+from repro.vmem.layout import AddressSpace, AddressSpaceConfig
+
+
+class TestAddressSpace:
+    def test_segments_are_ordered(self):
+        s = AddressSpace(np.random.default_rng(0))
+        assert s.text_start < s.text_end == s.data_start < s.data_end
+        assert s.data_end <= s.heap_start
+        assert s.brk == s.heap_start
+        assert s.heap_start < s.mmap_start < s.stack_bottom < s.stack_top
+
+    def test_aslr_randomizes_bases(self):
+        a = AddressSpace(np.random.default_rng(1))
+        b = AddressSpace(np.random.default_rng(2))
+        assert a.mmap_start != b.mmap_start
+        assert a.heap_start != b.heap_start
+
+    def test_same_rng_draw_same_layout(self):
+        a = AddressSpace(np.random.default_rng(5))
+        b = AddressSpace(np.random.default_rng(5))
+        assert a.mmap_start == b.mmap_start
+        assert a.heap_start == b.heap_start
+        assert a.stack_top == b.stack_top
+
+    def test_aslr_disabled_is_deterministic(self):
+        cfg = AddressSpaceConfig(aslr=False)
+        a = AddressSpace(np.random.default_rng(1), cfg)
+        b = AddressSpace(np.random.default_rng(99), cfg)
+        assert a.mmap_start == b.mmap_start == cfg.mmap_base
+        assert a.heap_start == b.heap_start
+
+    def test_mmap_base_matches_paper_region(self):
+        s = AddressSpace(np.random.default_rng(0))
+        # Figure 1 addresses are 0x2adf...: the mmap area.
+        assert s.mmap_start >> 40 == 0x2AD000000000 >> 40
+
+    def test_sbrk_grows_heap(self):
+        s = AddressSpace(np.random.default_rng(0))
+        a = s.sbrk(100)
+        b = s.sbrk(50)
+        assert b == a + 100
+        assert s.segment_of(a) == "heap"
+        assert s.segment_of(b + 49) == "heap"
+
+    def test_sbrk_rejects_negative(self):
+        s = AddressSpace(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            s.sbrk(-1)
+
+    def test_mmap_page_aligned_with_guards(self):
+        s = AddressSpace(np.random.default_rng(0))
+        a = s.mmap(100)
+        b = s.mmap(100)
+        assert a % 4096 == 0 and b % 4096 == 0
+        assert b - a >= 4096 + 4096  # content page + guard page
+        assert s.segment_of(a) == "mmap"
+
+    def test_mmap_rejects_nonpositive(self):
+        s = AddressSpace(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            s.mmap(0)
+
+    def test_segment_of_unmapped(self):
+        s = AddressSpace(np.random.default_rng(0))
+        assert s.segment_of(0) == "unmapped"
+        assert s.segment_of(s.brk + 10) == "unmapped"
+
+    def test_segment_of_text_and_stack(self):
+        s = AddressSpace(np.random.default_rng(0))
+        assert s.segment_of(s.text_start) == "text"
+        assert s.segment_of(s.stack_top - 8) == "stack"
+
+    def test_stack_frame(self):
+        s = AddressSpace(np.random.default_rng(0))
+        addr = s.stack_frame(64)
+        assert s.segment_of(addr) == "stack"
+        with pytest.raises(ValueError):
+            s.stack_frame(s.config.stack_size)
+
+    def test_heap_collision_raises(self):
+        cfg = AddressSpaceConfig(aslr=False)
+        s = AddressSpace(config=cfg)
+        with pytest.raises(MemoryError):
+            s.sbrk(cfg.mmap_base)

@@ -1,0 +1,100 @@
+"""Cross-validation: the traced access streams vs. the real numerics.
+
+The traced HPCG emits *model-driven* access streams; the numerics
+module builds the *actual* operator.  These tests prove the two agree:
+the stencil-gather pattern touches exactly the columns the CSR matrix
+holds (modulo the documented boundary-clipping convention), and the
+traffic volumes match the matrix's true structure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads.hpcg.geometry import Geometry
+from repro.workloads.hpcg.kernels import StencilGatherPattern
+from repro.workloads.hpcg.numerics import build_levels, build_matrix
+
+
+class TestGatherVsCsr:
+    @pytest.mark.parametrize("dims", [(4, 4, 4), (8, 4, 6), (6, 6, 6)])
+    def test_interior_rows_match_exactly(self, dims):
+        """For interior rows (all 27 neighbours exist) the gather's
+        column set equals the CSR row's column set."""
+        nx, ny, nz = dims
+        A = build_matrix(nx, ny, nz).tocsr()
+        p = StencilGatherPattern(
+            base=0, row0=0, nrows_block=nx * ny * nz, nx=nx, ny=ny, nz=nz,
+        )
+        addrs = p.expand()
+        cols = (addrs // 8).astype(np.int64).reshape(-1, 27)
+        for iz in range(1, nz - 1):
+            for iy in range(1, ny - 1):
+                for ix in range(1, nx - 1):
+                    row = (iz * ny + iy) * nx + ix
+                    csr_cols = set(A.indices[A.indptr[row]:A.indptr[row + 1]])
+                    gather_cols = set(int(c) for c in cols[row])
+                    assert gather_cols == csr_cols, row
+
+    def test_boundary_rows_subset_plus_diagonal(self):
+        """Boundary rows: the gather clips missing neighbours to the
+        diagonal, so its column set is the CSR set (the real neighbours)
+        — the diagonal is always a CSR member."""
+        nx = ny = nz = 4
+        A = build_matrix(nx, ny, nz).tocsr()
+        p = StencilGatherPattern(0, 0, 64, nx, ny, nz)
+        cols = (p.expand() // 8).astype(np.int64).reshape(-1, 27)
+        for row in range(64):
+            csr_cols = set(A.indices[A.indptr[row]:A.indptr[row + 1]])
+            gather_cols = set(int(c) for c in cols[row])
+            assert gather_cols <= csr_cols, row
+            assert row in gather_cols
+
+    def test_access_count_is_27_per_row_like_hpcg_storage(self):
+        """HPCG allocates and touches 27 slots per row regardless of
+        boundary clipping — so does the pattern."""
+        g = Geometry(8, 8, 8, nlevels=1)
+        p = StencilGatherPattern(0, 0, g.nrows(0), 8, 8, 8)
+        assert p.count == 27 * g.nrows(0)
+
+    def test_halo_columns_only_for_boundary_planes(self):
+        """Halo entries are touched exactly by rows in the first/last
+        z-plane (with both neighbours present)."""
+        nx = ny = nz = 6
+        n = nx * ny * nz
+        p = StencilGatherPattern(0, 0, n, nx, ny, nz,
+                                 has_bottom=True, has_top=True)
+        cols = (p.expand() // 8).astype(np.int64).reshape(-1, 27)
+        touches_halo = (cols >= n).any(axis=1)
+        plane = nx * ny
+        rows = np.arange(n)
+        in_boundary_plane = (rows < plane) | (rows >= n - plane)
+        np.testing.assert_array_equal(touches_halo, in_boundary_plane)
+
+    def test_nnz_estimate_vs_actual(self):
+        """The geometry's 27/row estimate bounds the true nnz, and the
+        true nnz approaches it as the grid grows (boundary fraction)."""
+        for n in (4, 8, 12):
+            A = build_matrix(n, n, n)
+            estimate = Geometry(n, n, n, nlevels=1).nnz_estimate(0)
+            assert A.nnz <= estimate
+            interior_fraction = ((n - 2) / n) ** 3
+            assert A.nnz >= estimate * interior_fraction
+
+
+class TestMgHierarchyConsistency:
+    def test_coarse_operator_matches_coarse_geometry(self):
+        g = Geometry(8, 8, 8, nlevels=3)
+        levels = build_levels(g)
+        for lv in range(3):
+            assert levels[lv].A.shape[0] == g.nrows(lv)
+
+    def test_injection_grid_alignment(self):
+        """f2c maps coarse point (cx,cy,cz) to fine point (2cx,2cy,2cz)."""
+        g = Geometry(8, 8, 8, nlevels=2)
+        levels = build_levels(g)
+        f2c = levels[0].f2c
+        for c_row in (0, 5, 63):
+            cz, rem = divmod(c_row, 16)
+            cy, cx = divmod(rem, 4)
+            fine = (2 * cz * 8 + 2 * cy) * 8 + 2 * cx
+            assert f2c[c_row] == fine

@@ -1,0 +1,58 @@
+"""Tests for the HPCG geometry."""
+
+import pytest
+
+from repro.workloads.hpcg.geometry import Geometry
+
+
+class TestGeometry:
+    def test_paper_configuration(self):
+        g = Geometry(104, 104, 104, nlevels=4)
+        assert g.nrows(0) == 104**3 == 1_124_864
+        assert g.dims(3) == (13, 13, 13)
+        assert g.total_rows() == 104**3 + 52**3 + 26**3 + 13**3
+
+    def test_rejects_indivisible_dims(self):
+        with pytest.raises(ValueError):
+            Geometry(10, 8, 8, nlevels=3)  # 10 % 4 != 0
+
+    def test_rejects_tiny_dims(self):
+        with pytest.raises(ValueError):
+            Geometry(1, 8, 8)
+
+    def test_rejects_bad_level(self):
+        g = Geometry(8, 8, 8, nlevels=2)
+        with pytest.raises(ValueError):
+            g.dims(2)
+        with pytest.raises(ValueError):
+            g.dims(-1)
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            Geometry(8, 8, 8, nlevels=1, rank=3, npz=3)
+
+    def test_plane(self):
+        g = Geometry(8, 4, 16, nlevels=1)
+        assert g.plane(0) == 32
+
+    def test_neighbours_interior(self):
+        g = Geometry(8, 8, 8, nlevels=1, rank=1, npz=3)
+        assert g.has_bottom_neighbor and g.has_top_neighbor
+        assert g.halo_entries(0) == 2 * 64
+        assert g.ncols(0) == 512 + 128
+
+    def test_neighbours_edges(self):
+        first = Geometry(8, 8, 8, nlevels=1, rank=0, npz=3)
+        last = Geometry(8, 8, 8, nlevels=1, rank=2, npz=3)
+        assert not first.has_bottom_neighbor and first.has_top_neighbor
+        assert last.has_bottom_neighbor and not last.has_top_neighbor
+        assert first.halo_entries(0) == 64
+
+    def test_single_rank_no_halo(self):
+        g = Geometry(8, 8, 8, nlevels=1)
+        assert g.halo_entries(0) == 0
+        assert g.ncols(0) == g.nrows(0)
+
+    def test_nnz_estimate(self):
+        g = Geometry(8, 8, 8, nlevels=1)
+        assert g.nnz_estimate(0) == 27 * 512

@@ -1,0 +1,213 @@
+"""Tests for the HPCG kernel access-stream generators."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.patterns import MemOp
+from repro.pipeline import Session, SessionConfig
+from repro.workloads.hpcg.geometry import Geometry
+from repro.workloads.hpcg.kernels import (
+    KernelCosts,
+    StencilGatherPattern,
+    dot_batches,
+    mg_transfer_batches,
+    spmv_batches,
+    symgs_sweep_batches,
+    waxpby_batches,
+)
+from repro.workloads.hpcg.problem import HpcgProblem
+
+
+@pytest.fixture(scope="module")
+def problem():
+    session = Session(SessionConfig(seed=0, engine="analytic"))
+    geometry = Geometry(8, 8, 8, nlevels=2, rank=1, npz=3)
+    return HpcgProblem.generate(
+        session.tracer, geometry, emit_setup_traffic=False
+    )
+
+
+class TestStencilGather:
+    def pattern(self, **kw):
+        defaults = dict(
+            base=0x10000, row0=0, nrows_block=512, nx=8, ny=8, nz=8,
+            has_bottom=True, has_top=True, direction=1,
+        )
+        defaults.update(kw)
+        return StencilGatherPattern(**defaults)
+
+    def test_count(self):
+        assert self.pattern().count == 27 * 512
+
+    def test_interior_row_touches_27_distinct_columns(self):
+        p = self.pattern()
+        # Row (1,1,1) = 64 + 8 + 1 = 73; its 27 accesses.
+        offs = np.arange(73 * 27, 74 * 27)
+        addrs = p.addresses_at(offs)
+        assert np.unique(addrs).size == 27
+        cols = (addrs - 0x10000) // 8
+        assert int(cols.min()) == 73 - 64 - 8 - 1
+        assert int(cols.max()) == 73 + 64 + 8 + 1
+
+    def test_corner_row_clips_xy(self):
+        p = self.pattern()
+        addrs = p.addresses_at(np.arange(27))  # row 0 = corner (0,0,0)
+        cols = ((addrs - 0x10000) // 8).astype(int)
+        # x/y out-of-grid neighbours clip to the row itself; z-1
+        # neighbours go to the bottom halo.
+        assert (np.asarray(cols) >= 0).all()
+
+    def test_bottom_halo_mapping(self):
+        p = self.pattern()
+        # Row (0, 1, 1) = 9; neighbour (dz=-1, dy=0, dx=0) -> k = 0*9+1*3+1 = 4
+        addrs = p.addresses_at(np.array([9 * 27 + 4]))
+        col = int((addrs[0] - 0x10000) // 8)
+        assert col == 512 + 9  # halo bottom entry for (y=1, x=1)
+
+    def test_top_halo_mapping(self):
+        p = self.pattern()
+        row = 7 * 64 + 9  # (z=7, y=1, x=1)
+        # dz=+1 dy=0 dx=0 -> k = 2*9 + 1*3 + 1 = 22
+        addrs = p.addresses_at(np.array([row * 27 + 22]))
+        col = int((addrs[0] - 0x10000) // 8)
+        assert col == 512 + 64 + 9  # after the bottom halo plane
+
+    def test_no_neighbor_clips_to_row(self):
+        p = self.pattern(has_bottom=False, has_top=False)
+        addrs = p.addresses_at(np.array([9 * 27 + 4]))
+        col = int((addrs[0] - 0x10000) // 8)
+        assert col == 9
+
+    def test_backward_direction_reverses_rows(self):
+        fwd = self.pattern(direction=1)
+        bwd = self.pattern(direction=-1)
+        # Access 13 (center of row 0 fwd) == diag of first row processed.
+        a_f = fwd.addresses_at(np.array([13]))
+        a_b = bwd.addresses_at(np.array([13]))
+        assert int((a_f[0] - 0x10000) // 8) == 0
+        assert int((a_b[0] - 0x10000) // 8) == 511
+
+    def test_locality_window(self):
+        p = self.pattern(row0=128, nrows_block=64)
+        loc = p.locality()
+        assert loc.lo == 0x10000 + (128 - 64) * 8
+        assert loc.working_set_bytes == 3 * 64 * 8
+        assert loc.count == 27 * 64
+
+    def test_locality_boundary_includes_halo(self):
+        p = self.pattern(row0=0, nrows_block=64)
+        loc = p.locality()
+        assert loc.hi >= 0x10000 + (512 + 64) * 8 - 8 * 64  # extends past rows
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ValueError):
+            self.pattern(row0=500, nrows_block=64)
+        with pytest.raises(ValueError):
+            self.pattern(direction=0)
+
+    def test_all_addresses_within_ncols(self):
+        p = self.pattern()
+        addrs = p.expand()
+        cols = (addrs - 0x10000) // 8
+        assert int(cols.max()) < 512 + 128
+        assert int(cols.min()) >= 0
+
+
+class TestSymgsBatches:
+    def test_forward_sweep_structure(self, problem):
+        fine = problem.fine
+        batches = list(
+            symgs_sweep_batches(fine, fine.vector("r"), fine.vector("z"), 1, blocks=4)
+        )
+        assert len(batches) == 4
+        assert all(b.label == "symgs_forward" for b in batches)
+        # Matrix stream addresses ascend across batches.
+        starts = [b.patterns[0].start for b in batches]
+        assert starts == sorted(starts)
+
+    def test_backward_sweep_reverses_blocks(self, problem):
+        fine = problem.fine
+        batches = list(
+            symgs_sweep_batches(fine, fine.vector("r"), fine.vector("z"), -1, blocks=4)
+        )
+        starts = [b.patterns[0].start for b in batches]
+        assert starts == sorted(starts, reverse=True)
+        assert all(b.label == "symgs_backward" for b in batches)
+
+    def test_store_pattern_is_x(self, problem):
+        fine = problem.fine
+        batch = next(
+            symgs_sweep_batches(fine, fine.vector("r"), fine.vector("z"), 1, blocks=1)
+        )
+        stores = [p for p in batch.patterns if p.op == MemOp.STORE]
+        assert len(stores) == 1
+        assert stores[0].start == fine.vector("z")
+        assert stores[0].count == fine.nrows
+
+    def test_instruction_budget(self, problem):
+        fine = problem.fine
+        costs = KernelCosts(instr_per_nnz=4.0, row_overhead=14.0)
+        batch = next(
+            symgs_sweep_batches(
+                fine, fine.vector("r"), fine.vector("z"), 1, blocks=1, costs=costs
+            )
+        )
+        assert batch.instructions == int(fine.nrows * (27 * 4.0 + 14.0))
+        assert batch.instructions >= batch.memory_accesses
+
+    def test_rejects_bad_direction(self, problem):
+        fine = problem.fine
+        with pytest.raises(ValueError):
+            list(symgs_sweep_batches(fine, 0, 0, 0))
+
+
+class TestSpmvBatches:
+    def test_no_rhs_read(self, problem):
+        fine = problem.fine
+        batch = next(spmv_batches(fine, fine.vector("p"), fine.vector("Ap"), blocks=1))
+        # Patterns: matrix stream, gather, y-store.
+        assert len(batch.patterns) == 3
+        assert batch.label == "spmv"
+        stores = [p for p in batch.patterns if p.op == MemOp.STORE]
+        assert stores[0].start == fine.vector("Ap")
+
+    def test_covers_all_rows(self, problem):
+        fine = problem.fine
+        batches = list(spmv_batches(fine, fine.vector("p"), fine.vector("Ap"), blocks=3))
+        total_rows = sum(p.count for b in batches for p in b.patterns if p.op == MemOp.STORE)
+        assert total_rows == fine.nrows
+
+
+class TestTransferAndVectorKernels:
+    def test_restrict(self, problem):
+        fine, coarse = problem.levels
+        batch = next(
+            mg_transfer_batches(fine, coarse, "restrict", fine.vector("r"),
+                                fine.vector("Axf"), coarse.vector("r"))
+        )
+        assert batch.label == "mg_restrict"
+        stores = [p for p in batch.patterns if p.op == MemOp.STORE]
+        assert stores[0].count == coarse.nrows
+
+    def test_prolong(self, problem):
+        fine, coarse = problem.levels
+        batch = next(
+            mg_transfer_batches(fine, coarse, "prolong", fine.vector("z"),
+                                fine.vector("Axf"), coarse.vector("x"))
+        )
+        assert batch.label == "mg_prolong"
+
+    def test_unknown_transfer_rejected(self, problem):
+        fine, coarse = problem.levels
+        with pytest.raises(ValueError):
+            next(mg_transfer_batches(fine, coarse, "inject", 0, 0, 0))
+
+    def test_dot(self):
+        batch = next(dot_batches(0x1000, 0x9000, 100))
+        assert batch.loads == 200
+        assert batch.stores == 0
+
+    def test_waxpby(self):
+        batch = next(waxpby_batches(0x1000, 0x9000, 0x11000, 100))
+        assert batch.loads == 200
+        assert batch.stores == 100

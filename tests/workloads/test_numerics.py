@@ -1,0 +1,125 @@
+"""Tests for the reference HPCG numerics (SciPy)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.workloads.hpcg.geometry import Geometry
+from repro.workloads.hpcg.numerics import (
+    build_levels,
+    build_matrix,
+    cg_solve,
+    mg_precondition,
+    symgs,
+)
+
+
+class TestBuildMatrix:
+    def test_shape_and_diagonal(self):
+        A = build_matrix(4, 4, 4)
+        assert A.shape == (64, 64)
+        np.testing.assert_allclose(A.diagonal(), 26.0)
+
+    def test_symmetric(self):
+        A = build_matrix(4, 3, 5)
+        assert abs(A - A.T).max() == 0
+
+    def test_positive_definite(self):
+        A = build_matrix(4, 4, 4)
+        eigs = np.linalg.eigvalsh(A.toarray())
+        assert eigs.min() > 0
+
+    def test_interior_row_has_27_entries(self):
+        A = build_matrix(4, 4, 4).tocsr()
+        # Row at (1,1,1) is interior.
+        row = (1 * 4 + 1) * 4 + 1
+        assert A.indptr[row + 1] - A.indptr[row] == 27
+
+    def test_corner_row_has_8_entries(self):
+        A = build_matrix(4, 4, 4).tocsr()
+        assert A.indptr[1] - A.indptr[0] == 8
+
+    def test_row_sums_nonnegative(self):
+        # 26 - (#neighbours <= 26) >= 0: diagonally dominant.
+        A = build_matrix(4, 4, 4)
+        assert np.asarray(A.sum(axis=1)).min() >= 0
+
+
+class TestSymgs:
+    def test_reduces_residual(self):
+        A = build_matrix(4, 4, 4)
+        rng = np.random.default_rng(0)
+        b = rng.random(64)
+        x = np.zeros(64)
+        r0 = np.linalg.norm(b - A @ x)
+        symgs(A, b, x)
+        r1 = np.linalg.norm(b - A @ x)
+        assert r1 < 0.5 * r0
+        symgs(A, b, x)
+        r2 = np.linalg.norm(b - A @ x)
+        assert r2 < r1
+
+    def test_fixed_point_is_solution(self):
+        A = build_matrix(4, 4, 4)
+        x_true = np.random.default_rng(1).random(64)
+        b = A @ x_true
+        x = x_true.copy()
+        symgs(A, b, x)
+        np.testing.assert_allclose(x, x_true, atol=1e-10)
+
+
+class TestMg:
+    def test_levels_structure(self):
+        g = Geometry(8, 8, 8, nlevels=3)
+        levels = build_levels(g)
+        assert len(levels) == 3
+        assert levels[0].A.shape == (512, 512)
+        assert levels[1].A.shape == (64, 64)
+        assert levels[0].f2c.shape == (64,)
+        assert levels[2].f2c is None
+
+    def test_f2c_maps_to_even_points(self):
+        g = Geometry(4, 4, 4, nlevels=2)
+        levels = build_levels(g)
+        f2c = levels[0].f2c
+        assert f2c.shape == (8,)
+        assert (np.sort(f2c) == f2c).all() is not None  # valid indices
+        assert f2c.max() < 64
+        # Coarse (0,0,0) -> fine (0,0,0).
+        assert f2c[0] == 0
+
+    def test_vcycle_reduces_residual(self):
+        g = Geometry(8, 8, 8, nlevels=2)
+        levels = build_levels(g)
+        rng = np.random.default_rng(2)
+        r = rng.random(512)
+        z = mg_precondition(levels, r)
+        res = np.linalg.norm(r - levels[0].A @ z)
+        assert res < 0.3 * np.linalg.norm(r)
+
+
+class TestCg:
+    def test_converges_with_mg(self):
+        g = Geometry(8, 8, 8, nlevels=2)
+        levels = build_levels(g)
+        rng = np.random.default_rng(3)
+        x_true = rng.random(512)
+        b = levels[0].A @ x_true
+        x, residuals = cg_solve(levels, b, max_iters=25, tol=1e-10)
+        assert residuals[-1] <= 1e-10 * residuals[0]
+        np.testing.assert_allclose(x, x_true, atol=1e-7)
+
+    def test_mg_beats_plain_cg(self):
+        g = Geometry(8, 8, 8, nlevels=2)
+        levels = build_levels(g)
+        b = np.random.default_rng(4).random(512)
+        _, with_mg = cg_solve(levels, b, max_iters=10)
+        _, without = cg_solve(levels, b, max_iters=10, preconditioned=False)
+        assert with_mg[-1] < without[-1]
+
+    def test_residual_history_monotone_enough(self):
+        g = Geometry(4, 4, 4, nlevels=1)
+        levels = build_levels(g)
+        b = np.ones(64)
+        _, residuals = cg_solve(levels, b, max_iters=15)
+        assert residuals[-1] < residuals[0] * 1e-6

@@ -1,0 +1,124 @@
+"""Tests for the STREAM, random-access and stencil workloads."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.datasource import DataSource
+from repro.memsim.patterns import MemOp
+from repro.objects.resolver import resolve_trace
+from repro.pipeline import Session, SessionConfig
+from repro.extrae.tracer import TracerConfig
+from repro.workloads.randomaccess import RandomAccessConfig, RandomAccessWorkload
+from repro.workloads.stencil import StencilConfig, StencilWorkload
+from repro.workloads.stream import StreamConfig, StreamWorkload
+
+
+def run(workload, seed=0, load_period=500, store_period=500):
+    # multiplex off: these short runs can fit inside one rotation
+    # quantum, which would starve one op's samples entirely.
+    config = SessionConfig(
+        seed=seed,
+        engine="analytic",
+        tracer=TracerConfig(load_period=load_period, store_period=store_period,
+                            randomization=0.0, multiplex=False),
+    )
+    session = Session(config)
+    return session, session.run(workload)
+
+
+class TestStream:
+    def test_three_arrays_tracked(self):
+        _, trace = run(StreamWorkload(StreamConfig(n=1 << 16, iterations=3)))
+        names = {o.name for o in trace.objects}
+        assert {"170_stream.c", "171_stream.c", "172_stream.c"} <= names
+
+    def test_loads_twice_stores(self):
+        session, _ = run(StreamWorkload(StreamConfig(n=1 << 16, iterations=3)))
+        c = session.machine.counters
+        assert c.loads == 2 * c.stores
+
+    def test_samples_resolve_to_arrays(self):
+        _, trace = run(StreamWorkload(StreamConfig(n=1 << 16, iterations=3)))
+        report = resolve_trace(trace)
+        assert report.matched_fraction > 0.99
+        # a is store-only, b/c load-only.
+        a = report.usage_for("170_stream.c")
+        b = report.usage_for("171_stream.c")
+        assert a.n_loads == 0 and a.n_stores > 0
+        assert b.read_only
+
+    def test_iteration_markers(self):
+        _, trace = run(StreamWorkload(StreamConfig(n=1 << 14, iterations=5)))
+        assert len(trace.iteration_times("triad")) == 5
+
+
+class TestRandomAccess:
+    def test_high_dram_fraction(self):
+        """Table (16 MiB) ≫ L3 region-resident share: most sampled
+        updates come from DRAM."""
+        wl = RandomAccessWorkload(
+            RandomAccessConfig(table_bytes=1 << 26, updates_per_iteration=1 << 15,
+                               iterations=4)
+        )
+        _, trace = run(wl, load_period=200, store_period=200)
+        table = trace.sample_table()
+        dram = (table.source == int(DataSource.DRAM)).mean()
+        assert dram > 0.5
+
+    def test_addresses_fill_table_uniformly(self):
+        wl = RandomAccessWorkload(
+            RandomAccessConfig(table_bytes=1 << 24, updates_per_iteration=1 << 15,
+                               iterations=4)
+        )
+        _, trace = run(wl, load_period=100, store_period=100)
+        table = trace.sample_table()
+        rel = (table.address - table.address.min()).astype(float)
+        span = rel.max()
+        # Quartile occupancy within 2x of each other.
+        counts, _ = np.histogram(rel, bins=4, range=(0, span))
+        assert counts.min() > 0.4 * counts.max()
+
+    def test_resolves_to_table_object(self):
+        wl = RandomAccessWorkload(RandomAccessConfig(table_bytes=1 << 22,
+                                                     updates_per_iteration=1 << 14,
+                                                     iterations=2))
+        _, trace = run(wl)
+        report = resolve_trace(trace)
+        assert report.usage_for("88_gups.c").n_samples > 0
+        assert not report.usage_for("88_gups.c").read_only
+
+
+class TestStencil:
+    def test_contiguous_allocation_mode(self):
+        wl = StencilWorkload(StencilConfig(nx=128, ny=128, iterations=4))
+        session, trace = run(wl)
+        assert len([o for o in trace.objects if o.kind == "dynamic"]) == 2
+
+    def test_per_row_wrapped_mode(self):
+        wl = StencilWorkload(
+            StencilConfig(nx=64, ny=64, iterations=2,
+                          rows_allocated_individually=True, wrap_rows=True)
+        )
+        _, trace = run(wl)
+        groups = [o for o in trace.objects if o.kind == "group"]
+        assert {g.name for g in groups} == {"42_stencil.c", "43_stencil.c"}
+        report = resolve_trace(trace)
+        assert report.matched_fraction > 0.99
+
+    def test_per_row_unwrapped_mode_unmatched(self):
+        wl = StencilWorkload(
+            StencilConfig(nx=64, ny=64, iterations=2,
+                          rows_allocated_individually=True, wrap_rows=False)
+        )
+        _, trace = run(wl)
+        report = resolve_trace(trace)
+        assert report.matched_fraction < 0.01
+
+    def test_ping_pong_alternates_store_target(self):
+        wl = StencilWorkload(StencilConfig(nx=128, ny=128, iterations=2))
+        _, trace = run(wl, store_period=100)
+        table = trace.sample_table()
+        stores = table.select(table.op == int(MemOp.STORE))
+        # Stores hit both grids across iterations.
+        mid = (int(stores.address.min()) + int(stores.address.max())) // 2
+        assert (stores.address < mid).any() and (stores.address >= mid).any()

@@ -1,0 +1,125 @@
+"""Tests for traced HPCG problem generation (allocation behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import Session, SessionConfig
+from repro.workloads.hpcg.geometry import Geometry
+from repro.workloads.hpcg.problem import (
+    INDG_BYTES,
+    INDL_BYTES,
+    MAP_GROUP_NAME,
+    MAP_NODE_BYTES,
+    MATRIX_GROUP_NAME,
+    VALUES_BYTES,
+    HpcgProblem,
+    LevelLayout,
+)
+
+
+def generate(nx=8, nlevels=2, wrap=True, setup_traffic=False, rank=1, npz=3, seed=0):
+    session = Session(SessionConfig(seed=seed, engine="analytic"))
+    geometry = Geometry(nx, nx, nx, nlevels, rank=rank, npz=npz)
+    problem = HpcgProblem.generate(
+        session.tracer, geometry, wrap_matrix=wrap, emit_setup_traffic=setup_traffic
+    )
+    return session, problem
+
+
+class TestGeneration:
+    def test_level_count(self):
+        _, problem = generate(nlevels=2)
+        assert len(problem.levels) == 2
+        assert problem.fine.level == 0
+
+    def test_row_stride_matches_reference_chunks(self):
+        """indL(112+16) + values(224+16) + indG(224+16) = 608 B/row."""
+        _, problem = generate()
+        assert problem.fine.row_stride == 608
+
+    def test_matrix_span(self):
+        _, problem = generate(nx=8)
+        lo, hi = problem.fine.matrix_span
+        assert hi - lo == 512 * 608
+
+    def test_group_sizes_paper_numbers(self):
+        """At the paper's size the wrapped groups weigh ≈617/89 MB."""
+        # Don't build 104^3 here; check the formula the run produces.
+        rows = 104**3
+        matrix_user = rows * (INDL_BYTES + VALUES_BYTES + INDG_BYTES)
+        map_user = rows * MAP_NODE_BYTES
+        assert matrix_user / 1e6 == pytest.approx(617.0, rel=0.02)
+        assert map_user / 1e6 == pytest.approx(89.0, rel=0.02)
+
+    def test_wrap_creates_named_groups(self):
+        session, _ = generate(wrap=True)
+        names = {r.name for r in session.tracer.interceptor.records}
+        assert MATRIX_GROUP_NAME in names
+        assert MAP_GROUP_NAME in names
+        assert MATRIX_GROUP_NAME + "@L1" in names
+
+    def test_no_wrap_leaves_matrix_untracked(self):
+        session, _ = generate(wrap=False)
+        names = {r.name for r in session.tracer.interceptor.records}
+        assert MATRIX_GROUP_NAME not in names
+        stats = session.tracer.interceptor.stats
+        # All per-row allocations (3 matrix + 1 map per row, 2 levels),
+        # plus the coarse level's three tiny vectors (r, x, sendbuf),
+        # which at 4^3 also fall under the 1 KiB threshold.
+        rows = 8**3 + 4**3
+        assert stats.untracked == 4 * rows + 3
+
+    def test_vectors_present(self):
+        _, problem = generate(nlevels=2)
+        fine = problem.fine
+        for name in ("b", "x", "xexact", "r", "z", "p", "Ap", "Axf", "sendbuf"):
+            assert name in fine.vectors, name
+        coarse = problem.levels[1]
+        assert "r" in coarse.vectors and "x" in coarse.vectors
+        assert "Axf" not in coarse.vectors  # coarsest level
+
+    def test_gathered_vectors_sized_with_halo(self):
+        session, problem = generate(rank=1, npz=3)
+        fine = problem.fine
+        z = session.allocator.allocation_at(fine.vectors["z"])
+        assert z.size == fine.ncols * 8
+        b = session.allocator.allocation_at(fine.vectors["b"])
+        assert b.size == fine.nrows * 8
+
+    def test_matrix_on_heap_vectors_on_mmap(self):
+        """The figure's lower (heap) vs upper (mmap) address split."""
+        session, problem = generate(nx=32, nlevels=1)
+        fine = problem.fine
+        space = session.space
+        assert space.segment_of(fine.matrix_base) == "heap"
+        assert space.segment_of(fine.vectors["x"]) == "mmap"
+        assert fine.matrix_base < fine.vectors["x"]
+
+    def test_halo_ranges(self):
+        _, problem = generate(rank=1, npz=3)
+        ranges = problem.fine.halo_ranges("z")
+        assert set(ranges) == {"bottom", "top", "ghost"}
+        b_lo, b_hi = ranges["bottom"]
+        t_lo, t_hi = ranges["top"]
+        assert b_hi == t_lo  # adjacent planes
+        assert b_hi - b_lo == problem.fine.plane * 8
+
+    def test_halo_ranges_single_rank(self):
+        _, problem = generate(rank=0, npz=1)
+        assert problem.fine.halo_ranges("x") == {}
+
+    def test_setup_traffic_stores(self):
+        session, _ = generate(setup_traffic=True)
+        assert session.machine.counters.stores > 0
+        # Setup is bracketed by its own region.
+        assert session.tracer.trace.region_intervals("setup_fill")
+
+    def test_vector_lookup_error(self):
+        _, problem = generate()
+        with pytest.raises(KeyError):
+            problem.fine.vector("nonexistent")
+
+    def test_layout_mismatch_rejected(self):
+        _, problem = generate(nlevels=2)
+        with pytest.raises(ValueError):
+            HpcgProblem(Geometry(8, 8, 8, nlevels=1), problem.levels)
