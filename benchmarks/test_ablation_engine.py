@@ -1,12 +1,20 @@
-"""A4 — ablation: precise vs analytic memory-engine agreement.
+"""A4 — ablation: precise vs vectorized vs analytic engine agreement.
 
-DESIGN.md's fidelity-mode contract: the closed-form engine that makes
-the 104³ runs feasible must agree with the per-access set-associative
-simulator in the regime the evaluation probes.  The bench runs the
-*same* HPCG problem (small enough for per-access simulation) under both
-engines and compares miss counters and folded bandwidths.
+DESIGN.md's fidelity-mode contract, both halves:
+
+* the closed-form analytic engine that makes the 104³ runs feasible
+  must *agree* with the per-access set-associative simulator in the
+  regime the evaluation probes (tolerance bands);
+* the vectorized batch engine must be *bit-identical* to the precise
+  one — same counters, same per-sample sources and latencies, same
+  folded figure — since it is the same hierarchy replayed blockwise.
+
+The bench runs the *same* HPCG problem (small enough for per-access
+simulation) under all three engines and compares miss counters, sample
+tables and folded bandwidths.
 """
 
+import numpy as np
 import pytest
 
 from repro.analysis.figures import build_figure1
@@ -43,12 +51,28 @@ def run_engine(engine, seed=21):
 def test_ablation_engine_agreement(benchmark):
     _, analytic_trace = run_engine("analytic")
     analytic_session, analytic_trace = run_engine("analytic")
+    vector_session, vector_trace = run_engine("vectorized")
     precise_session, precise_trace = benchmark.pedantic(
         lambda: run_engine("precise"), rounds=1, iterations=1
     )
 
     ca = analytic_session.machine.counters
     cp = precise_session.machine.counters
+    cv = vector_session.machine.counters
+
+    # --- vectorized is bit-identical to precise -------------------------
+    for name in (
+        "instructions", "loads", "stores", "l1d_misses", "l2_misses",
+        "l3_misses", "dram_lines", "dram_writebacks", "tlb_misses",
+    ):
+        assert getattr(cv, name) == getattr(cp, name), name
+    assert cv.cycles == pytest.approx(cp.cycles, rel=0, abs=1e-6)
+    tp = precise_trace.sample_table()
+    tv = vector_trace.sample_table()
+    assert tp.n == tv.n
+    for col in ("time_ns", "address", "op", "source", "latency"):
+        assert np.array_equal(tp.column(col), tv.column(col)), col
+    fig_v = build_figure1(fold_trace(vector_trace))
 
     # --- aggregate hardware counters agree ------------------------------
     assert ca.instructions == cp.instructions
@@ -62,29 +86,36 @@ def test_ablation_engine_agreement(benchmark):
     fig_a = build_figure1(fold_trace(analytic_trace))
     fig_p = build_figure1(fold_trace(precise_trace))
     assert fig_a.phases.major_sequence() == fig_p.phases.major_sequence()
+    # Same phase structure — and identical bandwidths — for vectorized.
+    assert fig_v.phases.major_sequence() == fig_p.phases.major_sequence()
     for label in ("a1", "a2", "B"):
         assert fig_a.bandwidth_MBps[label] == pytest.approx(
             fig_p.bandwidth_MBps[label], rel=0.20
         ), label
+        assert fig_v.bandwidth_MBps[label] == pytest.approx(
+            fig_p.bandwidth_MBps[label], rel=1e-12
+        ), label
 
     rows = [
-        ("instructions", ca.instructions, cp.instructions),
-        ("loads", ca.loads, cp.loads),
-        ("stores", ca.stores, cp.stores),
-        ("L1D misses", ca.l1d_misses, cp.l1d_misses),
-        ("L2 misses", ca.l2_misses, cp.l2_misses),
-        ("L3 misses", ca.l3_misses, cp.l3_misses),
-        ("DRAM lines", ca.dram_lines, cp.dram_lines),
-        ("cycles", int(ca.cycles), int(cp.cycles)),
+        ("instructions", ca.instructions, cp.instructions, cv.instructions),
+        ("loads", ca.loads, cp.loads, cv.loads),
+        ("stores", ca.stores, cp.stores, cv.stores),
+        ("L1D misses", ca.l1d_misses, cp.l1d_misses, cv.l1d_misses),
+        ("L2 misses", ca.l2_misses, cp.l2_misses, cv.l2_misses),
+        ("L3 misses", ca.l3_misses, cp.l3_misses, cv.l3_misses),
+        ("DRAM lines", ca.dram_lines, cp.dram_lines, cv.dram_lines),
+        ("cycles", int(ca.cycles), int(cp.cycles), int(cv.cycles)),
         ("a1 MB/s", round(fig_a.bandwidth_MBps["a1"], 1),
-         round(fig_p.bandwidth_MBps["a1"], 1)),
+         round(fig_p.bandwidth_MBps["a1"], 1),
+         round(fig_v.bandwidth_MBps["a1"], 1)),
         ("B MB/s", round(fig_a.bandwidth_MBps["B"], 1),
-         round(fig_p.bandwidth_MBps["B"], 1)),
+         round(fig_p.bandwidth_MBps["B"], 1),
+         round(fig_v.bandwidth_MBps["B"], 1)),
     ]
     write_result(
         "A4_engine.md",
         format_table(
-            ["quantity", "analytic", "precise"],
+            ["quantity", "analytic", "precise", "vectorized"],
             rows,
             title=f"A4 — engine agreement on HPCG {NX}^3 x {ITERS} iterations",
         ),

@@ -7,6 +7,9 @@ ASLR independence, and confirms the folded analysis of the interior
 rank — the one the figure shows — is representative.
 """
 
+import os
+import time
+
 from repro.analysis.figures import build_figure1
 from repro.extrae.tracer import TracerConfig
 from repro.folding.report import fold_trace
@@ -39,6 +42,17 @@ def test_rankset_24(benchmark):
         rounds=1, iterations=1,
     )
     assert len(results) == PAPER_RANKS
+
+    # Ranks are independent sessions, so the stack parallelizes across
+    # cores; on a multi-core host the pool must beat the serial path.
+    t0 = time.perf_counter()
+    RankSet(PAPER_RANKS, config, max_workers=1).run(factory)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    RankSet(PAPER_RANKS, config).run(factory)
+    parallel_s = time.perf_counter() - t0
+    if (os.cpu_count() or 1) >= 4:
+        assert parallel_s < serial_s
 
     # Halo structure: only the edge ranks miss a neighbour.
     for r in results:
@@ -79,5 +93,7 @@ def test_rankset_24(benchmark):
             ["rank", "bottom halo", "top halo", "duration ms", "samples"],
             rows,
             title=f"X2 — 24-rank stack (local {NX}^3, edge + interior ranks)",
-        ),
+        )
+        + f"\nserial {serial_s:.2f} s, parallel {parallel_s:.2f} s "
+        f"({os.cpu_count()} cpus)\n",
     )

@@ -21,6 +21,7 @@ from repro.analysis.figures import build_figure1
 from repro.extrae.trace import Trace
 from repro.extrae.tracer import TracerConfig
 from repro.folding.report import fold_trace
+from repro.memsim.engines import ENGINE_NAMES
 from repro.objects.resolver import resolve_trace
 from repro.pipeline import SessionConfig, run_workload
 from repro.workloads import (
@@ -71,7 +72,7 @@ def main_run(argv: list[str] | None = None) -> int:
     p.add_argument("--nlevels", type=int, default=3)
     p.add_argument("--iterations", type=int, default=10)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--engine", choices=["analytic", "precise"], default="analytic")
+    p.add_argument("--engine", choices=list(ENGINE_NAMES), default="analytic")
     p.add_argument("--load-period", type=int, default=10_000)
     p.add_argument("--store-period", type=int, default=10_000)
     p.add_argument("--no-multiplex", action="store_true",

@@ -109,12 +109,17 @@ class Tracer:
         self.config = config or TracerConfig()
         self.trace = Trace()
         self._stack = CallStack((root or Frame("main", "main.cpp", 0),))
+        # A bound method (unlike a lambda) keeps the tracer picklable,
+        # which the multi-rank process pool relies on.
         self.interceptor = AllocationInterceptor(
             allocator,
             threshold_bytes=self.config.alloc_threshold_bytes,
-            clock=lambda: self.machine.time_ns,
+            clock=self._machine_time,
         )
         self._finalized = False
+
+    def _machine_time(self) -> float:
+        return self.machine.time_ns
 
     # -- call-stack & regions ------------------------------------------------
     @property

@@ -8,9 +8,15 @@ fidelity levels:
 * :mod:`repro.memsim.cache` / :mod:`repro.memsim.hierarchy` — a precise
   set-associative, LRU, inclusive multi-level cache simulator that
   processes every address (used by tests and small workloads);
+* :mod:`repro.memsim.vectorized` — the same hierarchy replayed over
+  whole NumPy address blocks; bit-identical results to the precise
+  engine at an order of magnitude higher throughput;
 * :mod:`repro.memsim.analytic` — a closed-form engine for pattern
   batches in the streaming regime (structure footprint ≫ last-level
   cache), used to run the paper's full 104³ HPCG problem.
+
+Engines are built by name ("precise", "vectorized", "analytic") through
+:func:`repro.memsim.engines.make_engine`.
 
 Access streams are described by :mod:`repro.memsim.patterns`; the
 hierarchy levels and their access costs by
@@ -20,6 +26,7 @@ hierarchy levels and their access costs by
 from repro.memsim.analytic import AnalyticEngine
 from repro.memsim.cache import Cache, CacheConfig, CacheStats
 from repro.memsim.datasource import DataSource, LatencyModel
+from repro.memsim.engines import ENGINE_NAMES, make_engine
 from repro.memsim.hierarchy import CacheHierarchy, HierarchyConfig, PreciseEngine
 from repro.memsim.patterns import (
     AccessPattern,
@@ -32,6 +39,7 @@ from repro.memsim.patterns import (
 )
 from repro.memsim.prefetch import NextLinePrefetcher
 from repro.memsim.tlb import Tlb, TlbConfig
+from repro.memsim.vectorized import VectorizedEngine
 
 __all__ = [
     "AccessPattern",
@@ -41,6 +49,7 @@ __all__ = [
     "CacheHierarchy",
     "CacheStats",
     "DataSource",
+    "ENGINE_NAMES",
     "ExplicitPattern",
     "GatherPattern",
     "HierarchyConfig",
@@ -53,4 +62,6 @@ __all__ = [
     "StridedPattern",
     "Tlb",
     "TlbConfig",
+    "VectorizedEngine",
+    "make_engine",
 ]

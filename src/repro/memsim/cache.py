@@ -13,6 +13,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.util.bitops import ilog2, is_pow2
 
 __all__ = ["Cache", "CacheConfig", "CacheStats"]
@@ -178,8 +180,6 @@ class Cache:
 
     def resident_lines(self):
         """All currently resident line numbers (unordered)."""
-        import numpy as np
-
         out = [line for d in self._sets for line in d]
         return np.asarray(out, dtype=np.uint64)
 

@@ -1,0 +1,53 @@
+"""Engine registry: build a memory engine from its fidelity-mode name.
+
+Three fidelity modes share the ``run_pattern`` interface (see DESIGN.md,
+"Fidelity modes"):
+
+* ``precise`` — per-access set-associative LRU simulation
+  (:class:`~repro.memsim.hierarchy.PreciseEngine`);
+* ``vectorized`` — batch replay of the same hierarchy over whole
+  address blocks (:class:`~repro.memsim.vectorized.VectorizedEngine`),
+  bit-identical to ``precise`` and an order of magnitude faster;
+* ``analytic`` — closed-form streaming-regime model
+  (:class:`~repro.memsim.analytic.AnalyticEngine`).
+
+The pipeline, CLI and machine resolve engine names through
+:func:`make_engine` so every entry point accepts the same set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.memsim.analytic import AnalyticEngine
+from repro.memsim.hierarchy import HierarchyConfig, PreciseEngine
+from repro.memsim.vectorized import VectorizedEngine
+
+__all__ = ["ENGINE_NAMES", "make_engine"]
+
+_ENGINES = {
+    "precise": PreciseEngine,
+    "vectorized": VectorizedEngine,
+    "analytic": AnalyticEngine,
+}
+
+#: Valid values for every ``engine=`` knob, in fidelity order.
+ENGINE_NAMES = tuple(_ENGINES)
+
+
+def make_engine(
+    name: str,
+    config: HierarchyConfig | None = None,
+    rng: np.random.Generator | None = None,
+):
+    """Instantiate the engine called *name* over *config*.
+
+    Raises ``ValueError`` for unknown names, listing the valid ones.
+    """
+    try:
+        cls = _ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"engine must be one of {', '.join(ENGINE_NAMES)}; got {name!r}"
+        ) from None
+    return cls(config, rng=rng)

@@ -126,6 +126,16 @@ class CacheHierarchy:
         self._hit_source = [DataSource.L1, DataSource.L2, DataSource.L3][
             : len(self.levels)
         ]
+        n = len(self.levels)
+        self._n_levels = n
+        self._last_index = n - 1
+        # _fill_orders[top] = level indices to fill after a hit below
+        # `top` (top == n means a full miss), innermost level last.
+        self._fill_orders = tuple(
+            tuple(range(top - 1, -1, -1)) for top in range(n + 1)
+        )
+        self._has_l2 = n >= 2
+        self._has_l3 = n >= 3
         self.dram_lines = 0
         #: dirty lines written back to memory on last-level eviction
         self.dram_writebacks = 0
@@ -145,34 +155,34 @@ class CacheHierarchy:
         the last level; evicting a dirty line from there writes it back
         to memory (counted in :attr:`dram_writebacks`).
         """
+        levels = self.levels
         hit_level = -1
-        for i, cache in enumerate(self.levels):
+        for i, cache in enumerate(levels):
             if cache.access(line):
                 hit_level = i
                 break
         if hit_level != 0:
             # Fill the line into all levels above the hit point.
-            top = hit_level if hit_level >= 0 else len(self.levels)
-            fill_range = (
-                range(top - 1, -1, -1)
-                if hit_level >= 0
-                else range(len(self.levels) - 1, -1, -1)
-            )
-            for i in fill_range:
-                if i == len(self.levels) - 1:
+            top = hit_level if hit_level >= 0 else self._n_levels
+            last_index = self._last_index
+            for i in self._fill_orders[top]:
+                if i == last_index:
                     self._fill_last(line)
                 else:
-                    self.levels[i].fill(line)
+                    levels[i].fill(line)
             if self.prefetcher is not None:
-                for pf_line in self.prefetcher.on_miss(line):
-                    # Prefetches land in L2 (and L3 for inclusion).
-                    if len(self.levels) >= 2 and not self.levels[1].contains(pf_line):
-                        self.levels[1].fill(pf_line, from_prefetch=True)
-                        if len(self.levels) >= 3 and not self.levels[2].contains(pf_line):
-                            self._fill_last(pf_line, from_prefetch=True)
-                            self.dram_lines += 1
+                pf_lines = self.prefetcher.on_miss(line)
+                if self._has_l2:
+                    l2 = levels[1]
+                    for pf_line in pf_lines:
+                        # Prefetches land in L2 (and L3 for inclusion).
+                        if not l2.contains(pf_line):
+                            l2.fill(pf_line, from_prefetch=True)
+                            if self._has_l3 and not levels[2].contains(pf_line):
+                                self._fill_last(pf_line, from_prefetch=True)
+                                self.dram_lines += 1
         if op == MemOp.STORE:
-            last = self.levels[-1]
+            last = levels[-1]
             if not last.mark_dirty(line):
                 # Inclusivity repair: the line aged out of the last
                 # level while still living above it.
@@ -249,12 +259,19 @@ class PreciseEngine:
         miss0 = [c.stats.misses + c.stats.prefetch_fills for c in hier.levels]
 
         s_ptr = 0
+        n_samples = samples.size
+        samples_list = samples.tolist()
         l1_code = int(DataSource.L1)
+        op = pattern.op
+        is_store = op == MemOp.STORE
+        access_line = hier.access_line
+        l1_stats = hier.levels[0].stats
+        mark_dirty_last = hier.levels[-1].mark_dirty
+        hist = src_hist.tolist()  # plain-int counters inside the hot loop
         for lo in range(0, n, _BLOCK):
             hi = min(lo + _BLOCK, n)
             addrs = pattern.addresses_at(np.arange(lo, hi, dtype=np.int64))
             lines = (addrs >> np.uint64(line_shift)).astype(np.int64)
-            op = pattern.op
             if hier.tlb is not None:
                 hier.tlb.access_bulk(addrs)
             # Collapse consecutive same-line accesses: after the first
@@ -267,24 +284,27 @@ class PreciseEngine:
             keep[0] = True
             np.not_equal(lines[1:], lines[:-1], out=keep[1:])
             run_starts = np.nonzero(keep)[0]
-            run_ends = np.append(run_starts[1:], m)
-            for start, end in zip(run_starts, run_ends):
-                src = hier.access_line(int(lines[start]), op)
-                src_hist[int(src)] += 1
-                run_len = int(end - start)
+            run_lines = lines[run_starts].tolist()
+            starts = run_starts.tolist()
+            ends = starts[1:]
+            ends.append(m)
+            for start, end, line in zip(starts, ends, run_lines):
+                src = access_line(line, op)
+                hist[src] += 1
+                run_len = end - start
                 if run_len > 1:
                     # Account the collapsed repeat accesses.
-                    src_hist[l1_code] += run_len - 1
-                    l1 = hier.levels[0]
-                    l1.stats.hits += run_len - 1
-                    if op == MemOp.STORE:
-                        hier.levels[-1].mark_dirty(int(lines[start]))
-                while s_ptr < samples.size and samples[s_ptr] < lo + end:
-                    offset_in_block = samples[s_ptr] - lo
+                    hist[l1_code] += run_len - 1
+                    l1_stats.hits += run_len - 1
+                    if is_store:
+                        mark_dirty_last(line)
+                while s_ptr < n_samples and samples_list[s_ptr] < lo + end:
+                    offset_in_block = samples_list[s_ptr] - lo
                     sample_src[s_ptr] = (
                         int(src) if offset_in_block == start else l1_code
                     )
                     s_ptr += 1
+        src_hist[:] = hist
 
         source_counts = {
             DataSource(i): int(c) for i, c in enumerate(src_hist) if c and i

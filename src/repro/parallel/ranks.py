@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable
 
@@ -21,6 +25,30 @@ class RankResult:
     trace: Trace
 
 
+def _picklable(obj) -> bool:
+    """Whether *obj* survives pickling (lambdas/closures do not)."""
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+def _run_rank(
+    rank: int,
+    n_ranks: int,
+    config: SessionConfig,
+    workload_factory: Callable[[int, int], Workload],
+) -> RankResult:
+    """Build and run one rank's session (top-level for picklability)."""
+    session = Session(config.with_seed(config.seed * 1009 + rank + 1))
+    workload = workload_factory(rank, n_ranks)
+    trace = session.run(workload)
+    trace.metadata["rank"] = rank
+    trace.metadata["n_ranks"] = n_ranks
+    return RankResult(rank=rank, session=session, trace=trace)
+
+
 class RankSet:
     """A 1-D stack of simulated ranks running the same local workload.
 
@@ -31,41 +59,69 @@ class RankSet:
     config:
         Base session configuration; each rank derives its own seed from
         it (so ASLR differs per rank, like real processes).
+    max_workers:
+        Worker processes for :meth:`run`.  ``None`` picks
+        ``min(n_ranks, cpu_count)``; ``1`` forces the serial path.
     """
 
-    def __init__(self, n_ranks: int, config: SessionConfig | None = None) -> None:
+    def __init__(
+        self,
+        n_ranks: int,
+        config: SessionConfig | None = None,
+        max_workers: int | None = None,
+    ) -> None:
         if n_ranks < 1:
             raise ValueError(f"need at least one rank, got {n_ranks}")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
         self.n_ranks = n_ranks
         self.config = config or SessionConfig()
+        self.max_workers = max_workers
+
+    def _resolve_workers(self) -> int:
+        if self.max_workers is not None:
+            return min(self.max_workers, self.n_ranks)
+        return min(self.n_ranks, os.cpu_count() or 1)
 
     def run(
         self, workload_factory: Callable[[int, int], Workload]
     ) -> list[RankResult]:
         """Run ``workload_factory(rank, n_ranks)`` on every rank.
 
-        Ranks execute sequentially (they are independent simulations);
-        results come back in rank order.
+        Ranks are independent simulations, so they execute in a process
+        pool when more than one worker is available (each rank's session
+        is built inside its worker; results come back in rank order and
+        are bit-identical to the serial path).  With one worker — or if
+        the pool cannot be spawned, e.g. an unpicklable factory — they
+        run sequentially in-process.
         """
-        results: list[RankResult] = []
-        for rank in range(self.n_ranks):
-            session = Session(self.config.with_seed(self.config.seed * 1009 + rank + 1))
-            workload = workload_factory(rank, self.n_ranks)
-            trace = session.run(workload)
-            trace.metadata["rank"] = rank
-            trace.metadata["n_ranks"] = self.n_ranks
-            results.append(RankResult(rank=rank, session=session, trace=trace))
-        return results
+        workers = self._resolve_workers()
+        if workers > 1 and self.n_ranks > 1 and _picklable(workload_factory):
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(
+                            _run_rank, rank, self.n_ranks, self.config,
+                            workload_factory,
+                        )
+                        for rank in range(self.n_ranks)
+                    ]
+                    return [f.result() for f in futures]
+            except (pickle.PicklingError, BrokenProcessPool, OSError):
+                # Pool unavailable (e.g. a sandbox forbids spawning) or
+                # a result did not survive the round-trip: redo the
+                # identical computation serially.
+                pass
+        return [
+            _run_rank(rank, self.n_ranks, self.config, workload_factory)
+            for rank in range(self.n_ranks)
+        ]
 
     def run_interior_rank(
         self, workload_factory: Callable[[int, int], Workload]
     ) -> RankResult:
         """Run only a representative interior rank (both halos present)
         — what the paper's single-task folded analysis looks at."""
-        rank = self.n_ranks // 2
-        session = Session(self.config.with_seed(self.config.seed * 1009 + rank + 1))
-        workload = workload_factory(rank, self.n_ranks)
-        trace = session.run(workload)
-        trace.metadata["rank"] = rank
-        trace.metadata["n_ranks"] = self.n_ranks
-        return RankResult(rank=rank, session=session, trace=trace)
+        return _run_rank(
+            self.n_ranks // 2, self.n_ranks, self.config, workload_factory
+        )

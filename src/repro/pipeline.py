@@ -22,8 +22,8 @@ from repro.analysis.figures import Figure1, build_figure1
 from repro.extrae.trace import Trace
 from repro.extrae.tracer import Tracer, TracerConfig
 from repro.folding.report import FoldedReport, fold_trace
-from repro.memsim.analytic import AnalyticEngine
-from repro.memsim.hierarchy import HierarchyConfig, PreciseEngine
+from repro.memsim.engines import ENGINE_NAMES, make_engine
+from repro.memsim.hierarchy import HierarchyConfig
 from repro.simproc.calibration import MachineCalibration
 from repro.simproc.machine import Machine
 from repro.simproc.noise import NoiseModel
@@ -47,9 +47,11 @@ class SessionConfig:
         through named substreams (two sessions with the same seed are
         bit-identical).
     engine:
-        ``"analytic"`` (closed-form, use for paper-scale problems) or
+        ``"analytic"`` (closed-form, use for paper-scale problems),
         ``"precise"`` (per-access cache simulation, use for small
-        problems and validation).
+        problems and validation) or ``"vectorized"`` (batch replay of
+        the precise hierarchy — identical results, an order of
+        magnitude faster).
     """
 
     seed: int = 0
@@ -62,9 +64,10 @@ class SessionConfig:
     noise: NoiseModel | None = None
 
     def __post_init__(self) -> None:
-        if self.engine not in ("analytic", "precise"):
+        if self.engine not in ENGINE_NAMES:
             raise ValueError(
-                f"engine must be 'analytic' or 'precise', got {self.engine!r}"
+                f"engine must be one of {', '.join(ENGINE_NAMES)}, "
+                f"got {self.engine!r}"
             )
 
     def with_seed(self, seed: int) -> "SessionConfig":
@@ -80,12 +83,9 @@ class Session:
         self.space = AddressSpace(self.streams.get("aslr"), self.config.address_space)
         self.allocator = Allocator(self.space)
         self.image = BinaryImage(self.space)
-        if self.config.engine == "analytic":
-            engine = AnalyticEngine(
-                self.config.hierarchy, rng=self.streams.get("memsim")
-            )
-        else:
-            engine = PreciseEngine(self.config.hierarchy, rng=self.streams.get("memsim"))
+        engine = make_engine(
+            self.config.engine, self.config.hierarchy, rng=self.streams.get("memsim")
+        )
         self.machine = Machine(
             engine=engine,
             calibration=self.config.calibration,

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.memsim.datasource import DataSource
+from repro.memsim.engines import make_engine
 from repro.memsim.hierarchy import PatternResult, PreciseEngine
 from repro.memsim.patterns import MemOp
 from repro.simproc.calibration import MachineCalibration
@@ -121,8 +122,9 @@ class Machine:
     Parameters
     ----------
     engine:
-        Memory engine (precise or analytic); defaults to a cold
-        Haswell-like precise hierarchy.
+        Memory engine instance, or one of the engine names
+        ``"precise"`` / ``"vectorized"`` / ``"analytic"``; defaults to
+        a cold Haswell-like precise hierarchy.
     calibration:
         Clock/pipeline constants.
     pebs:
@@ -140,7 +142,11 @@ class Machine:
         noise: "NoiseModel | None" = None,
         noise_rng=None,
     ) -> None:
-        self.engine = engine if engine is not None else PreciseEngine()
+        if engine is None:
+            engine = PreciseEngine()
+        elif isinstance(engine, str):
+            engine = make_engine(engine)
+        self.engine = engine
         self.calibration = calibration or MachineCalibration()
         self.pebs = pebs
         self.multiplex = multiplex

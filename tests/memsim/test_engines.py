@@ -1,0 +1,42 @@
+"""Tests for the engine registry (``memsim.engines``)."""
+
+import pytest
+
+from repro.memsim import ENGINE_NAMES, make_engine
+from repro.memsim.analytic import AnalyticEngine
+from repro.memsim.hierarchy import HierarchyConfig, PreciseEngine
+from repro.memsim.vectorized import VectorizedEngine
+from repro.simproc.machine import Machine
+
+
+class TestMakeEngine:
+    def test_names(self):
+        assert ENGINE_NAMES == ("precise", "vectorized", "analytic")
+
+    def test_builds_each(self):
+        assert isinstance(make_engine("precise"), PreciseEngine)
+        assert isinstance(make_engine("vectorized"), VectorizedEngine)
+        assert isinstance(make_engine("analytic"), AnalyticEngine)
+
+    def test_name_attribute_matches(self):
+        for name in ENGINE_NAMES:
+            assert make_engine(name).name == name
+
+    def test_passes_config(self):
+        config = HierarchyConfig(enable_prefetch=False)
+        engine = make_engine("vectorized", config)
+        assert engine.config is config
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="vectorized"):
+            make_engine("quantum")
+
+
+class TestMachineEngineStrings:
+    def test_machine_accepts_engine_name(self):
+        machine = Machine(engine="vectorized")
+        assert isinstance(machine.engine, VectorizedEngine)
+
+    def test_machine_rejects_unknown_name(self):
+        with pytest.raises(ValueError):
+            Machine(engine="quantum")

@@ -1,0 +1,196 @@
+"""Property-based equivalence: VectorizedEngine ≡ PreciseEngine.
+
+The vectorized engine's contract (DESIGN.md, "Fidelity modes") is
+bit-identical ``PatternResult``s to the per-access simulator on every
+pattern the precise engine accepts — the batch replay is a
+reimplementation of the same hierarchy, not an approximation.  The
+strategies below drive both engines through random mixes of pattern
+shapes, loads and stores (exercising dirty-line writeback), geometries
+with and without prefetch/TLB, and sampled offsets, comparing every
+result field each step.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim.cache import CacheConfig
+from repro.memsim.datasource import LatencyModel
+from repro.memsim.hierarchy import HierarchyConfig, PreciseEngine
+from repro.memsim.tlb import TlbConfig
+from repro.memsim.patterns import (
+    ExplicitPattern,
+    GatherPattern,
+    MemOp,
+    SequentialPattern,
+    StridedPattern,
+)
+from repro.memsim.vectorized import VectorizedEngine
+
+RESULT_FIELDS = (
+    "count",
+    "level_misses",
+    "source_counts",
+    "dram_lines",
+    "writeback_lines",
+    "sample_sources",
+    "sample_latencies",
+    "tlb_misses",
+)
+
+
+def tiny_config(nlev, prefetch, tlb):
+    levels = (
+        CacheConfig("L1D", 1024, 64, 2),
+        CacheConfig("L2", 4096, 64, 4),
+        CacheConfig("L3", 16 * 1024, 64, 4),
+    )[:nlev]
+    return HierarchyConfig(
+        levels=levels,
+        latency=LatencyModel(jitter=0.0),
+        enable_prefetch=prefetch,
+        tlb=TlbConfig(entries=8, page_size=4096) if tlb else None,
+    )
+
+
+configs = st.builds(
+    tiny_config,
+    nlev=st.integers(1, 3),
+    prefetch=st.booleans(),
+    tlb=st.booleans(),
+)
+
+ops = st.sampled_from([MemOp.LOAD, MemOp.STORE])
+
+
+@st.composite
+def patterns(draw):
+    op = draw(ops)
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return SequentialPattern(
+            draw(st.integers(0, 512)) * 8,
+            draw(st.integers(0, 3000)),
+            elem_size=draw(st.sampled_from([4, 8, 16])),
+            direction=draw(st.sampled_from([1, -1])),
+            op=op,
+        )
+    if kind == 1:
+        return StridedPattern(
+            draw(st.integers(0, 64)) * 64,
+            draw(st.integers(1, 1200)),
+            stride=draw(st.sampled_from([8, 24, 64, 192, 4096])),
+            op=op,
+        )
+    if kind == 2:
+        idx = draw(
+            st.lists(st.integers(0, 4095), min_size=1, max_size=1500)
+        )
+        return GatherPattern(
+            draw(st.integers(0, 64)) * 64,
+            np.asarray(idx, dtype=np.int64),
+            op=op,
+        )
+    addrs = draw(st.lists(st.integers(0, 1 << 15), min_size=1, max_size=1200))
+    return ExplicitPattern(np.asarray(addrs, dtype=np.uint64), op=op)
+
+
+def assert_same_result(rp, rv, context=""):
+    for field in RESULT_FIELDS:
+        a, b = getattr(rp, field), getattr(rv, field)
+        if isinstance(a, np.ndarray):
+            same = a.shape == b.shape and bool((a == b).all())
+        else:
+            same = a == b
+        assert same, f"{context}{field}: precise={a} vectorized={b}"
+
+
+class TestVectorizedEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        config=configs,
+        pats=st.lists(patterns(), min_size=1, max_size=4),
+        sample_seed=st.integers(0, 2**32 - 1),
+        flush_mask=st.integers(0, 7),
+    )
+    def test_pattern_mix_bit_identical(
+        self, config, pats, sample_seed, flush_mask
+    ):
+        """Random mixes of patterns over one engine pair: every result
+        field identical at every step, with occasional flushes."""
+        pe = PreciseEngine(config, rng=np.random.default_rng(123))
+        ve = VectorizedEngine(config, rng=np.random.default_rng(123))
+        srng = np.random.default_rng(sample_seed)
+        for i, pat in enumerate(pats):
+            n = pat.count
+            offs = (
+                np.unique(srng.integers(0, n, min(n, 37)))
+                if n
+                else np.empty(0, dtype=np.int64)
+            )
+            rp = pe.run_pattern(pat, sample_offsets=offs)
+            rv = ve.run_pattern(pat, sample_offsets=offs)
+            assert_same_result(rp, rv, context=f"pattern {i}: ")
+            if (flush_mask >> i) & 1:
+                pe.flush()
+                ve.flush()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        config=configs,
+        count=st.integers(1, 6000),
+        base=st.integers(0, 2048),
+        revisit=st.booleans(),
+    )
+    def test_store_sweep_dirty_writeback(self, config, count, base, revisit):
+        """STORE sweeps dirty every line; evicting them from the last
+        level must produce identical writeback counts, including after
+        a revisit of the same range."""
+        pe = PreciseEngine(config, rng=np.random.default_rng(9))
+        ve = VectorizedEngine(config, rng=np.random.default_rng(9))
+        pat = SequentialPattern(base * 8, count, 8, op=MemOp.STORE)
+        assert_same_result(pe.run_pattern(pat), ve.run_pattern(pat))
+        if revisit:
+            assert_same_result(pe.run_pattern(pat), ve.run_pattern(pat))
+        # Sweep a disjoint range with loads: capacity evictions flush
+        # the dirty lines; writeback counts must keep agreeing.
+        far = SequentialPattern(1 << 20, count, 8)
+        assert_same_result(pe.run_pattern(far), ve.run_pattern(far))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        count=st.integers(1, 4000),
+        stride=st.sampled_from([8, 64, 192]),
+        op=ops,
+        sample_seed=st.integers(0, 2**32 - 1),
+    )
+    def test_default_hierarchy_with_samples(self, count, stride, op, sample_seed):
+        """The default (Haswell-like, prefetch + TLB) geometry with
+        sampled offsets: sources and latencies align element-wise."""
+        pe = PreciseEngine(rng=np.random.default_rng(4))
+        ve = VectorizedEngine(rng=np.random.default_rng(4))
+        pat = StridedPattern(0, count, stride, op=op)
+        offs = np.unique(
+            np.random.default_rng(sample_seed).integers(0, count, min(count, 53))
+        )
+        rp = pe.run_pattern(pat, sample_offsets=offs)
+        rv = ve.run_pattern(pat, sample_offsets=offs)
+        assert_same_result(rp, rv)
+
+    def test_rejects_unsorted_samples(self):
+        ve = VectorizedEngine(tiny_config(2, False, False))
+        pat = SequentialPattern(0, 64, 8)
+        with pytest.raises(ValueError):
+            ve.run_pattern(pat, sample_offsets=np.array([5, 3]))
+
+    def test_more_than_three_levels_rejected(self):
+        levels = (
+            CacheConfig("L1D", 1024, 64, 2),
+            CacheConfig("L2", 4096, 64, 4),
+            CacheConfig("L3", 16 * 1024, 64, 4),
+            CacheConfig("L4", 64 * 1024, 64, 4),
+        )
+        config = HierarchyConfig(levels=levels, enable_prefetch=False, tlb=None)
+        with pytest.raises(ValueError):
+            VectorizedEngine(config)

@@ -37,6 +37,13 @@ class TestRun:
                          "--iterations", "1", "--engine", "precise",
                          "-o", str(path)]) == 0
 
+    def test_vectorized_engine_small(self, tmp_path):
+        path = tmp_path / "v.bsctrace"
+        assert main_run(["--workload", "stream", "--nx", "16",
+                         "--iterations", "1", "--engine", "vectorized",
+                         "-o", str(path)]) == 0
+        assert path.exists()
+
 
 class TestFold:
     def test_exports_panels(self, trace_file, tmp_path, capsys):

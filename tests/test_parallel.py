@@ -56,3 +56,28 @@ class TestRankSet:
             solo.trace.metadata["annotations"]["matrix_span"]
             == full.trace.metadata["annotations"]["matrix_span"]
         )
+
+    def test_rejects_bad_max_workers(self):
+        with pytest.raises(ValueError):
+            RankSet(2, max_workers=0)
+
+    def test_parallel_matches_serial(self):
+        """The process-pool path returns the same results, in rank
+        order, as the in-process serial path."""
+        cfg = SessionConfig(seed=5)
+        serial = RankSet(4, cfg, max_workers=1).run(factory)
+        parallel = RankSet(4, cfg, max_workers=2).run(factory)
+        assert [r.rank for r in parallel] == [0, 1, 2, 3]
+        for s, p in zip(serial, parallel):
+            assert s.rank == p.rank
+            assert s.trace.metadata["annotations"] == p.trace.metadata["annotations"]
+            assert s.trace.n_samples == p.trace.n_samples
+            ts, tp = s.trace.sample_table(), p.trace.sample_table()
+            for col in ("time_ns", "address", "source", "latency"):
+                assert (ts.column(col) == tp.column(col)).all(), col
+
+    def test_unpicklable_factory_falls_back_to_serial(self):
+        results = RankSet(2, SessionConfig(seed=2), max_workers=2).run(
+            lambda rank, n_ranks: factory(rank, n_ranks)
+        )
+        assert [r.rank for r in results] == [0, 1]

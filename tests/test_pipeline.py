@@ -5,6 +5,7 @@ import pytest
 
 from repro.memsim.analytic import AnalyticEngine
 from repro.memsim.hierarchy import PreciseEngine
+from repro.memsim.vectorized import VectorizedEngine
 from repro.pipeline import Session, SessionConfig, analyze_hpcg, run_workload
 from repro.workloads import HpcgConfig, HpcgWorkload
 from repro.workloads.stream import StreamConfig, StreamWorkload
@@ -29,6 +30,17 @@ class TestSession:
                           AnalyticEngine)
         assert isinstance(Session(SessionConfig(engine="precise")).machine.engine,
                           PreciseEngine)
+        assert isinstance(Session(SessionConfig(engine="vectorized")).machine.engine,
+                          VectorizedEngine)
+
+    def test_vectorized_matches_precise_trace(self):
+        w = lambda: StreamWorkload(StreamConfig(n=1 << 14, iterations=2))
+        tp = Session(SessionConfig(seed=5, engine="precise")).run(w())
+        tv = Session(SessionConfig(seed=5, engine="vectorized")).run(w())
+        for col in ("time_ns", "address", "source", "latency"):
+            np.testing.assert_array_equal(
+                tp.sample_table().column(col), tv.sample_table().column(col)
+            )
 
     def test_metadata_seeded(self):
         s = Session(SessionConfig(seed=42))
