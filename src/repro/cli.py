@@ -7,9 +7,12 @@ Three tools mirroring the BSC workflow (monitor → fold → explore):
 * ``bsc-memtools-fold`` — fold a trace and export the three-panel data
   (gnuplot-style .dat files) plus a text summary;
 * ``bsc-memtools-report`` — the full analysis: object resolution report
-  and, for HPCG traces, the Figure-1 reproduction tables.
+  and, for HPCG traces, the Figure-1 reproduction tables;
+* ``bsc-memtools-validate`` — run the trace invariant checkers
+  (:mod:`repro.validate`) over a trace file.
 
-All commands are also reachable as ``python -m repro.cli <run|fold|report>``.
+All commands are also reachable as
+``python -m repro.cli <run|fold|report|validate>``.
 """
 
 from __future__ import annotations
@@ -35,7 +38,7 @@ from repro.workloads.randomaccess import RandomAccessConfig
 from repro.workloads.stencil import StencilConfig
 from repro.workloads.stream import StreamConfig
 
-__all__ = ["main", "main_fold", "main_report", "main_run"]
+__all__ = ["main", "main_fold", "main_report", "main_run", "main_validate"]
 
 
 def _build_workload(args):
@@ -199,15 +202,49 @@ def main_report(argv: list[str] | None = None) -> int:
     return 0
 
 
+def main_validate(argv: list[str] | None = None) -> int:
+    """``bsc-memtools-validate``: run the trace invariant checkers."""
+    p = argparse.ArgumentParser(
+        prog="bsc-memtools-validate",
+        description="Check a trace file against the trace invariants "
+        "(time order, address plausibility, source legality, intern "
+        "tables, folding mass conservation).",
+    )
+    p.add_argument("trace", help="trace file written by bsc-memtools-run")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero on warnings, not only errors")
+    p.add_argument("--no-fold", action="store_true",
+                   help="skip the folding mass-conservation check "
+                        "(cheaper on huge traces)")
+    args = p.parse_args(argv)
+
+    from repro.validate.invariants import validate_trace
+
+    trace = Trace.load(args.trace)
+    report = validate_trace(trace, fold=not args.no_fold)
+    print(report.summary())
+    if not report.ok:
+        return 1
+    return 1 if (args.strict and report.warnings) else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Dispatcher for ``python -m repro.cli``."""
+    commands = {
+        "run": main_run,
+        "fold": main_fold,
+        "report": main_report,
+        "validate": main_validate,
+    }
     argv = list(sys.argv[1:] if argv is None else argv)
-    if not argv or argv[0] not in ("run", "fold", "report"):
-        print("usage: python -m repro.cli {run,fold,report} [options]",
-              file=sys.stderr)
+    if not argv or argv[0] not in commands:
+        print(
+            f"usage: python -m repro.cli {{{','.join(commands)}}} [options]",
+            file=sys.stderr,
+        )
         return 2
     command, rest = argv[0], argv[1:]
-    return {"run": main_run, "fold": main_fold, "report": main_report}[command](rest)
+    return commands[command](rest)
 
 
 if __name__ == "__main__":  # pragma: no cover

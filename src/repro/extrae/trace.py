@@ -12,15 +12,20 @@ A trace holds three kinds of data:
 
 Serialization uses ``.npz`` for the columnar samples plus a JSON
 sidecar for events/objects/metadata — no pickling, so traces are safe
-to exchange.
+to exchange.  The sidecar carries an explicit ``"schema"`` version
+(:data:`TRACE_SCHEMA_VERSION`); :meth:`Trace.load` refuses unknown
+versions with :class:`TraceSchemaError` and accepts version-less
+legacy files with a warning.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterable
 
 import numpy as np
 
@@ -29,7 +34,30 @@ from repro.extrae.memalloc import ObjectRecord
 from repro.simproc.machine import SAMPLE_COUNTERS, SampleBlock
 from repro.vmem.callstack import CallStack, Frame
 
-__all__ = ["SampleTable", "Trace"]
+__all__ = [
+    "EVENT_TIME_EPSILON_NS",
+    "SampleTable",
+    "Trace",
+    "TraceSchemaError",
+    "TRACE_SCHEMA_VERSION",
+]
+
+#: Version of the on-disk trace layout (the ``"schema"`` field of the
+#: JSON sidecar).  Bump when the sidecar shape or the sample-column set
+#: changes incompatibly; :meth:`Trace.load` rejects files written with
+#: a version it does not know.
+TRACE_SCHEMA_VERSION = 1
+
+#: Tolerance (ns) for the append-time monotonicity check of punctual
+#: events.  Machine time is exactly nondecreasing — there is no float
+#: slack to absorb — so the comparison is exact.  The constant exists
+#: (rather than a literal) so :mod:`repro.validate.invariants` applies
+#: the identical rule when re-checking finished traces.
+EVENT_TIME_EPSILON_NS = 0.0
+
+
+class TraceSchemaError(ValueError):
+    """A trace file's schema version is unknown to this code."""
 
 
 #: columnar sample schema: name -> dtype
@@ -129,9 +157,20 @@ class Trace:
     def labels(self) -> list[str]:
         return list(self._labels)
 
+    @property
+    def callstacks(self) -> list[CallStack]:
+        return list(self._callstacks)
+
+    @property
+    def n_callstacks(self) -> int:
+        return len(self._callstacks)
+
     # -- recording ----------------------------------------------------------
     def add_event(self, event: TraceEvent) -> None:
-        if self.events and event.time_ns < self.events[-1].time_ns - 1e-6:
+        if (
+            self.events
+            and event.time_ns < self.events[-1].time_ns - EVENT_TIME_EPSILON_NS
+        ):
             raise ValueError(
                 f"events must be appended in time order "
                 f"({event.time_ns} < {self.events[-1].time_ns})"
@@ -226,6 +265,7 @@ class Trace:
         path = Path(path)
         table = self.sample_table()
         sidecar = {
+            "schema": TRACE_SCHEMA_VERSION,
             "metadata": self.metadata,
             "labels": self._labels,
             "callstacks": [
@@ -266,28 +306,80 @@ class Trace:
         return path
 
     @classmethod
+    def from_parts(
+        cls,
+        *,
+        metadata: dict | None = None,
+        events: Iterable[TraceEvent] = (),
+        objects: Iterable[ObjectRecord] = (),
+        labels: Iterable[str] = (),
+        callstacks: Iterable[CallStack] = (),
+        table: SampleTable | None = None,
+    ) -> "Trace":
+        """Assemble a trace from already-consolidated parts.
+
+        Used by :meth:`load` and by tools that rewrite traces (e.g. the
+        golden-fixture perturbation helper in
+        :mod:`repro.validate.golden`).  The intern tables are rebuilt in
+        the given order so ``callstack_id``/``label_id`` columns of
+        *table* keep their meaning.
+        """
+        trace = cls(metadata=dict(metadata or {}))
+        for cs in callstacks:
+            trace.callstack_id(cs)
+        for lbl in labels:
+            trace.label_id(lbl)
+        trace.events.extend(events)
+        trace.objects.extend(objects)
+        trace._table = table if table is not None else SampleTable.empty()
+        return trace
+
+    @classmethod
     def load(cls, path: str | Path) -> "Trace":
-        """Read a trace written by :meth:`save`."""
+        """Read a trace written by :meth:`save`.
+
+        Raises :class:`TraceSchemaError` when the file declares a schema
+        version this code does not know.  Files written before schema
+        versioning existed (no ``"schema"`` field) load as version 1
+        with a :class:`UserWarning`.
+        """
         path = Path(path)
         with zipfile.ZipFile(path) as zf:
             sidecar = json.loads(zf.read("trace.json"))
             with zf.open("samples.npz") as f:
                 npz = np.load(f)
                 columns = {k: npz[k] for k in npz.files}
-        trace = cls(metadata=sidecar["metadata"])
-        for cs in sidecar["callstacks"]:
-            trace.callstack_id(CallStack(tuple(Frame(*f) for f in cs)))
-        for lbl in sidecar["labels"]:
-            trace.label_id(lbl)
-        for ev in sidecar["events"]:
-            trace.events.append(
-                TraceEvent(ev["time_ns"], EventKind(ev["kind"]), ev["name"], ev["payload"])
+        schema = sidecar.get("schema")
+        if schema is None:
+            warnings.warn(
+                f"{path}: trace has no schema version (written before "
+                f"versioning); loading as schema {TRACE_SCHEMA_VERSION}",
+                stacklevel=2,
             )
-        for o in sidecar["objects"]:
-            site = (
-                CallStack(tuple(Frame(*f) for f in o["site"])) if o["site"] else None
+        elif schema != TRACE_SCHEMA_VERSION:
+            raise TraceSchemaError(
+                f"{path}: unknown trace schema version {schema!r} "
+                f"(this build reads version {TRACE_SCHEMA_VERSION})"
             )
-            trace.objects.append(
+        missing = set(_SAMPLE_COLUMNS) - set(columns)
+        if missing:
+            raise TraceSchemaError(
+                f"{path}: sample table missing columns {sorted(missing)}"
+            )
+        return cls.from_parts(
+            metadata=sidecar["metadata"],
+            callstacks=[
+                CallStack(tuple(Frame(*f) for f in cs))
+                for cs in sidecar["callstacks"]
+            ],
+            labels=sidecar["labels"],
+            events=[
+                TraceEvent(
+                    ev["time_ns"], EventKind(ev["kind"]), ev["name"], ev["payload"]
+                )
+                for ev in sidecar["events"]
+            ],
+            objects=[
                 ObjectRecord(
                     name=o["name"],
                     start=o["start"],
@@ -295,14 +387,19 @@ class Trace:
                     kind=o["kind"],
                     bytes_user=o["bytes_user"],
                     n_allocations=o["n_allocations"],
-                    site=site,
+                    site=(
+                        CallStack(tuple(Frame(*f) for f in o["site"]))
+                        if o["site"]
+                        else None
+                    ),
                     time_ns=o["time_ns"],
                 )
-            )
-        trace._table = SampleTable(
-            {k: columns[k].astype(dt) for k, dt in _SAMPLE_COLUMNS.items()}
+                for o in sidecar["objects"]
+            ],
+            table=SampleTable(
+                {k: columns[k].astype(dt) for k, dt in _SAMPLE_COLUMNS.items()}
+            ),
         )
-        return trace
 
     def __len__(self) -> int:
         return self.n_samples

@@ -62,6 +62,11 @@ class TracerConfig:
         co-schedulable and always active.
     mpx_quantum_ns:
         Multiplexing rotation quantum.
+    self_check:
+        Run the trace validator (:mod:`repro.validate.invariants`) at
+        :meth:`Tracer.finalize` and raise on any error-severity
+        invariant violation.  Opt-in: the pass re-reads the whole
+        sample table, which is measurable on very large traces.
     """
 
     alloc_threshold_bytes: int = 1024
@@ -72,6 +77,7 @@ class TracerConfig:
     sample_stores: bool = True
     multiplex: bool = True
     mpx_quantum_ns: float = 200_000.0
+    self_check: bool = False
 
     def build_pebs(self, rng) -> PebsSampler:
         """PEBS sampler implied by this configuration."""
@@ -237,6 +243,16 @@ class Tracer:
             }
         )
         self._finalized = True
+        if self.config.self_check:
+            # Imported here: repro.validate sits above extrae in the
+            # layering and must stay importable without a tracer.
+            from repro.memsim.hierarchy import HierarchyConfig
+            from repro.validate.invariants import validate_trace
+
+            hierarchy = getattr(self.machine.engine, "config", None)
+            if not isinstance(hierarchy, HierarchyConfig):
+                hierarchy = None
+            validate_trace(self.trace, hierarchy).raise_on_error()
         return self.trace
 
     def _check_open(self) -> None:

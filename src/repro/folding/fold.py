@@ -21,7 +21,34 @@ from repro.extrae.trace import SampleTable
 from repro.folding.detect import FoldInstances
 from repro.simproc.machine import SAMPLE_COUNTERS
 
-__all__ = ["FoldedSamples", "fold_samples"]
+__all__ = ["FoldedSamples", "count_in_instances", "fold_samples"]
+
+
+def _inside_mask(
+    t: np.ndarray, starts: np.ndarray, ends: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-sample instance index and inside-any-instance mask.
+
+    ``starts`` must be sorted ascending (instance intervals are
+    disjoint and time-ordered by construction).
+    """
+    idx = np.searchsorted(starts, t, side="right") - 1
+    inside = (idx >= 0) & (t < ends[np.maximum(idx, 0)])
+    return idx, inside
+
+
+def count_in_instances(table: SampleTable, instances: FoldInstances) -> int:
+    """Number of samples of *table* that fall inside any instance.
+
+    This is the sample mass :func:`fold_samples` must conserve: every
+    in-instance sample appears in the folded output exactly once, and
+    no out-of-instance sample does.  The validator
+    (:mod:`repro.validate.invariants`) checks the two agree.
+    """
+    starts = np.array([iv[0] for iv in instances.intervals])
+    ends = np.array([iv[1] for iv in instances.intervals])
+    _, inside = _inside_mask(table.time_ns, starts, ends)
+    return int(inside.sum())
 
 
 @dataclass
@@ -78,8 +105,7 @@ def fold_samples(
     starts = np.array([iv[0] for iv in instances.intervals])
     ends = np.array([iv[1] for iv in instances.intervals])
 
-    idx = np.searchsorted(starts, t, side="right") - 1
-    inside = (idx >= 0) & (t < ends[np.maximum(idx, 0)])
+    idx, inside = _inside_mask(t, starts, ends)
     idx = idx[inside]
     kept = table.select(inside)
     tk = kept.time_ns

@@ -63,6 +63,17 @@ class HierarchyConfig:
         if any(lv.line_size != line for lv in self.levels):
             raise ValueError("all levels must share one line size")
 
+    def legal_sources(self) -> frozenset[DataSource]:
+        """Data sources any engine over this hierarchy may emit.
+
+        Cache-level hits up to the configured depth, plus the line-fill
+        buffer and DRAM.  ``REMOTE`` is never legal in the single-socket
+        model — the trace validator treats samples outside this set as
+        corruption.
+        """
+        hits = (DataSource.L1, DataSource.L2, DataSource.L3)[: len(self.levels)]
+        return frozenset(hits) | {DataSource.LFB, DataSource.DRAM}
+
 
 @dataclass
 class PatternResult:

@@ -104,9 +104,28 @@ class Session:
         return workload.trace(self.tracer)
 
 
-def run_workload(workload: Workload, config: SessionConfig | None = None) -> Trace:
-    """One-shot: build a session and trace *workload*."""
-    return Session(config).run(workload)
+def run_workload(
+    workload: Workload,
+    config: SessionConfig | None = None,
+    *,
+    validate: bool = False,
+) -> Trace:
+    """One-shot: build a session and trace *workload*.
+
+    With ``validate=True`` the finished trace is passed through the
+    invariant checkers (:mod:`repro.validate.invariants`) against the
+    session's hierarchy configuration and a
+    :class:`~repro.validate.invariants.ValidationError` is raised on
+    any violation — equivalent to setting ``TracerConfig.self_check``
+    but decided at the call site.
+    """
+    session = Session(config)
+    trace = session.run(workload)
+    if validate:
+        from repro.validate.invariants import validate_trace
+
+        validate_trace(trace, session.config.hierarchy).raise_on_error()
+    return trace
 
 
 def analyze_hpcg(

@@ -1,0 +1,50 @@
+"""Trace validation: invariants, golden fixtures, structural diffing.
+
+The correctness backstop for the whole value chain (PEBS sampling →
+object resolution → folding → Figure 1).  Three layers:
+
+* :mod:`repro.validate.invariants` — a :class:`ValidationReport`-
+  producing pass over any :class:`~repro.extrae.trace.Trace` checking
+  time monotonicity, address plausibility, data-source legality,
+  intern-table integrity and folding mass conservation;
+* :mod:`repro.validate.golden` — deterministic small reference traces
+  per memory engine, committed under ``tests/golden/`` so unintended
+  behavior changes fail loudly in CI;
+* :mod:`repro.validate.diff` — a tolerance-aware structural differ
+  that localizes the first diverging column/row between two traces.
+
+Entry points: ``python -m repro.cli validate <trace>`` (or the
+``bsc-memtools-validate`` script), ``TracerConfig.self_check`` for
+validation at trace finalize, and ``python -m repro.validate.golden``
+to regenerate or check the golden fixtures.
+"""
+
+from repro.validate.diff import Divergence, TraceDiff, diff_traces
+from repro.validate.golden import (
+    GOLDEN_SEED,
+    check_goldens,
+    golden_trace,
+    inject_perturbation,
+    write_goldens,
+)
+from repro.validate.invariants import (
+    ValidationError,
+    ValidationIssue,
+    ValidationReport,
+    validate_trace,
+)
+
+__all__ = [
+    "Divergence",
+    "GOLDEN_SEED",
+    "TraceDiff",
+    "ValidationError",
+    "ValidationIssue",
+    "ValidationReport",
+    "check_goldens",
+    "diff_traces",
+    "golden_trace",
+    "inject_perturbation",
+    "validate_trace",
+    "write_goldens",
+]

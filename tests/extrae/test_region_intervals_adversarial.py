@@ -1,0 +1,124 @@
+"""Adversarial tests for region enter/exit matching.
+
+``Trace.region_intervals`` must pair each exit with the most recent
+unmatched enter of the same name — under deep recursion, interleaved
+names and malformed sequences.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extrae.events import EventKind, TraceEvent
+from repro.extrae.trace import Trace
+
+
+def build(events):
+    t = Trace()
+    for time, kind, name in events:
+        t.add_event(TraceEvent(float(time), kind, name))
+    return t
+
+
+ENTER = EventKind.REGION_ENTER
+EXIT = EventKind.REGION_EXIT
+
+
+class TestRecursion:
+    def test_two_level_recursion_matches_lifo(self):
+        t = build([
+            (0, ENTER, "f"), (1, ENTER, "f"), (2, EXIT, "f"), (3, EXIT, "f"),
+        ])
+        assert t.region_intervals("f") == [(0.0, 3.0), (1.0, 2.0)]
+
+    def test_deep_recursion(self):
+        depth = 500
+        events = [(i, ENTER, "f") for i in range(depth)]
+        events += [(depth + i, EXIT, "f") for i in range(depth)]
+        ivs = build(events).region_intervals("f")
+        assert len(ivs) == depth
+        # Outermost pair spans everything; innermost is tightest.
+        assert ivs[0] == (0.0, float(2 * depth - 1))
+        assert ivs[-1] == (float(depth - 1), float(depth))
+        # Properly nested: sorted by start, each nested inside previous.
+        for (s0, e0), (s1, e1) in zip(ivs, ivs[1:]):
+            assert s0 < s1 < e1 < e0
+
+    def test_sequential_same_name(self):
+        t = build([
+            (0, ENTER, "f"), (1, EXIT, "f"), (2, ENTER, "f"), (3, EXIT, "f"),
+        ])
+        assert t.region_intervals("f") == [(0.0, 1.0), (2.0, 3.0)]
+
+
+class TestInterleaving:
+    def test_interleaved_names_are_independent(self):
+        t = build([
+            (0, ENTER, "a"), (1, ENTER, "b"), (2, EXIT, "a"),
+            (3, EXIT, "b"), (4, ENTER, "a"), (5, EXIT, "a"),
+        ])
+        assert t.region_intervals("a") == [(0.0, 2.0), (4.0, 5.0)]
+        assert t.region_intervals("b") == [(1.0, 3.0)]
+
+    def test_other_event_kinds_ignored(self):
+        t = build([
+            (0, ENTER, "a"),
+            (1, EventKind.ITERATION, "a"),
+            (2, EventKind.MARKER, "a"),
+            (3, EXIT, "a"),
+        ])
+        assert t.region_intervals("a") == [(0.0, 3.0)]
+
+    def test_unknown_region_is_empty(self):
+        t = build([(0, ENTER, "a"), (1, EXIT, "a")])
+        assert t.region_intervals("nope") == []
+
+
+class TestMalformed:
+    def test_unmatched_exit_rejected(self):
+        t = build([(0, ENTER, "a"), (1, EXIT, "a"), (2, EXIT, "a")])
+        with pytest.raises(ValueError, match="unmatched exit"):
+            t.region_intervals("a")
+
+    def test_unmatched_enter_rejected(self):
+        t = build([(0, ENTER, "a"), (1, ENTER, "a"), (2, EXIT, "a")])
+        with pytest.raises(ValueError, match="unmatched enter"):
+            t.region_intervals("a")
+
+    def test_exit_of_other_name_does_not_close(self):
+        t = build([(0, ENTER, "a"), (1, EXIT, "b")])
+        with pytest.raises(ValueError, match="unmatched"):
+            t.region_intervals("a")
+        with pytest.raises(ValueError, match="unmatched"):
+            t.region_intervals("b")
+
+
+@given(st.lists(st.integers(0, 2), max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_random_sequences_never_mispair(choices):
+    """Random enter/exit/noise sequences: intervals are well-formed or
+    a ValueError names the unmatched side."""
+    events = []
+    depth = 0
+    for i, c in enumerate(choices):
+        if c == 0:
+            events.append((i, ENTER, "r"))
+            depth += 1
+        elif c == 1:
+            events.append((i, EXIT, "r"))
+            depth -= 1
+        else:
+            events.append((i, EventKind.MARKER, "r"))
+    t = build(events)
+    balanced = depth == 0 and all(
+        sum(1 if c == 0 else -1 for c in choices[: k + 1] if c in (0, 1)) >= 0
+        for k in range(len(choices))
+    )
+    if balanced:
+        ivs = t.region_intervals("r")
+        assert len(ivs) == sum(1 for c in choices if c == 0)
+        assert all(s < e for s, e in ivs)
+        assert ivs == sorted(ivs)
+    else:
+        with pytest.raises(ValueError):
+            t.region_intervals("r")

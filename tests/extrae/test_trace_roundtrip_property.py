@@ -1,0 +1,158 @@
+"""Hypothesis property suite: ``load(save(t)) ≡ t`` bit-exactly.
+
+Traces are assembled from arbitrary generated parts — sample table,
+events, objects, call stacks, labels — via :meth:`Trace.from_parts`
+and must survive a save/load round trip with every column bit-equal
+and every sidecar record equal.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extrae.events import EventKind, TraceEvent
+from repro.extrae.memalloc import ObjectRecord
+from repro.extrae.trace import _SAMPLE_COLUMNS, SampleTable, Trace
+from repro.memsim.datasource import DataSource
+from repro.simproc.machine import SAMPLE_COUNTERS
+from repro.vmem.callstack import CallStack, Frame
+
+# JSON-safe printable-ASCII names (the sidecar is JSON: exotic unicode
+# round-trips too, but surrogates do not exist in traces).
+names = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1,
+    max_size=12,
+)
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, width=64, min_value=-1e12,
+    max_value=1e12,
+)
+payloads = st.dictionaries(
+    names,
+    st.one_of(st.integers(-(2**40), 2**40), finite_floats, names,
+              st.booleans()),
+    max_size=3,
+)
+
+
+@st.composite
+def frames(draw):
+    return Frame(draw(names), draw(names), draw(st.integers(0, 10_000)))
+
+
+@st.composite
+def callstacks(draw):
+    return CallStack(tuple(draw(st.lists(frames(), min_size=1, max_size=4))))
+
+
+@st.composite
+def event_lists(draw):
+    steps = draw(
+        st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+                 max_size=8)
+    )
+    times = np.cumsum(steps) if steps else []
+    return [
+        TraceEvent(
+            float(t),
+            draw(st.sampled_from(list(EventKind))),
+            draw(names),
+            draw(payloads),
+        )
+        for t in times
+    ]
+
+
+@st.composite
+def object_records(draw):
+    start = draw(st.integers(1, 2**47 - 2))
+    span = draw(st.integers(1, 1 << 30))
+    return ObjectRecord(
+        name=draw(names),
+        start=start,
+        end=start + span,
+        kind=draw(st.sampled_from(["dynamic", "group", "static"])),
+        bytes_user=draw(st.integers(0, 1 << 40)),
+        n_allocations=draw(st.integers(1, 1000)),
+        site=draw(st.none() | callstacks()),
+        time_ns=draw(st.floats(min_value=0, max_value=1e12, allow_nan=False)),
+    )
+
+
+@st.composite
+def sample_tables(draw, n_callstacks, n_labels):
+    n = draw(st.integers(0, 30))
+    rng = np.random.default_rng(draw(st.integers(0, 2**32 - 1)))
+    cols = {
+        "time_ns": np.sort(rng.uniform(0, 1e9, n)),
+        "address": rng.integers(1, 1 << 48, n, dtype=np.uint64),
+        "op": rng.integers(0, 2, n).astype(np.int8),
+        "source": rng.choice([int(s) for s in DataSource], n).astype(np.int8),
+        "latency": rng.uniform(0, 500, n).astype(np.float32),
+        "callstack_id": rng.integers(0, max(n_callstacks, 1), n).astype(np.int32),
+        "label_id": rng.integers(0, max(n_labels, 1), n).astype(np.int32),
+        **{
+            name: rng.uniform(0, 1e9, n).astype(np.float64)
+            for name in SAMPLE_COUNTERS
+        },
+    }
+    return SampleTable(
+        {k: cols[k].astype(dt) for k, dt in _SAMPLE_COLUMNS.items()}
+    )
+
+
+@st.composite
+def traces(draw):
+    stacks = draw(st.lists(callstacks(), min_size=1, max_size=4, unique=True))
+    labels = draw(st.lists(names, min_size=1, max_size=4, unique=True))
+    return Trace.from_parts(
+        metadata=draw(payloads),
+        events=draw(event_lists()),
+        objects=draw(st.lists(object_records(), max_size=4)),
+        labels=labels,
+        callstacks=stacks,
+        table=draw(sample_tables(len(stacks), len(labels))),
+    )
+
+
+def assert_bit_exact(a: Trace, b: Trace) -> None:
+    ta, tb = a.sample_table(), b.sample_table()
+    assert ta.n == tb.n
+    for name in _SAMPLE_COLUMNS:
+        ca, cb = ta.column(name), tb.column(name)
+        assert ca.dtype == cb.dtype, name
+        np.testing.assert_array_equal(ca, cb, err_msg=name)
+    assert a.events == b.events
+    assert a.objects == b.objects
+    assert a.labels == b.labels
+    assert a.callstacks == b.callstacks
+    assert a.metadata == b.metadata
+
+
+@given(traces())
+@settings(max_examples=25, deadline=None)
+def test_roundtrip_bit_exact(tmp_path_factory, trace):
+    path = tmp_path_factory.mktemp("rt") / "t.bsctrace"
+    loaded = Trace.load(trace.save(path))
+    assert_bit_exact(trace, loaded)
+
+
+@given(traces())
+@settings(max_examples=25, deadline=None)
+def test_double_roundtrip_stable(tmp_path_factory, trace):
+    """save → load → save → load is a fixed point."""
+    d = tmp_path_factory.mktemp("rt2")
+    once = Trace.load(trace.save(d / "a.bsctrace"))
+    twice = Trace.load(once.save(d / "b.bsctrace"))
+    assert_bit_exact(once, twice)
+
+
+@pytest.mark.slow
+@given(traces())
+@settings(max_examples=250, deadline=None)
+def test_roundtrip_bit_exact_deep(tmp_path_factory, trace):
+    """Same property, far more examples (CI slow job)."""
+    path = tmp_path_factory.mktemp("rt-deep") / "t.bsctrace"
+    assert_bit_exact(trace, Trace.load(trace.save(path)))

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import main, main_fold, main_report, main_run
+from repro.cli import main, main_fold, main_report, main_run, main_validate
 
 
 @pytest.fixture()
@@ -66,6 +66,41 @@ class TestReport:
         out = tmp_path / "fig"
         assert main_report([str(trace_file), "--export-dir", str(out)]) == 0
         assert (out / "figure1.txt").exists()
+
+
+class TestValidate:
+    def test_validate_fresh_trace(self, trace_file, capsys):
+        assert main_validate([str(trace_file)]) == 0
+        assert "Trace validation: OK" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("engine", ["precise", "vectorized", "analytic"])
+    def test_validate_each_engine(self, engine, tmp_path, capsys):
+        path = tmp_path / f"{engine}.bsctrace"
+        assert main_run(["--workload", "stream", "--nx", "16",
+                         "--iterations", "2", "--engine", engine,
+                         "--load-period", "64", "--store-period", "64",
+                         "-o", str(path)]) == 0
+        assert main_validate([str(path)]) == 0
+        assert "Trace validation: OK" in capsys.readouterr().out
+
+    def test_validate_no_fold_flag(self, trace_file, capsys):
+        assert main_validate([str(trace_file), "--no-fold"]) == 0
+        assert "fold-mass" not in capsys.readouterr().out
+
+    def test_validate_corrupted_trace_fails(self, trace_file, tmp_path, capsys):
+        from repro.extrae.trace import Trace
+        from repro.validate import inject_perturbation
+
+        bad = inject_perturbation(
+            Trace.load(trace_file), "address", 0, float(1 << 50)
+        )
+        bad_path = tmp_path / "bad.bsctrace"
+        bad.save(bad_path)
+        assert main_validate([str(bad_path)]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_validate_dispatch(self, trace_file):
+        assert main(["validate", str(trace_file)]) == 0
 
 
 class TestDispatcher:

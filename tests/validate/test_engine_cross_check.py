@@ -1,0 +1,96 @@
+"""Three-engine invariant cross-check.
+
+Every fidelity mode must produce traces that pass the validator on
+STREAM, RandomAccess and a small HPCG — the mechanical guarantee that
+future perf PRs keep ``precise``/``vectorized``/``analytic`` honest.
+"""
+
+import pytest
+
+from repro.extrae.tracer import TracerConfig
+from repro.memsim.engines import ENGINE_NAMES
+from repro.memsim.hierarchy import HierarchyConfig
+from repro.pipeline import SessionConfig, run_workload
+from repro.validate import diff_traces, validate_trace
+from repro.workloads import HpcgConfig, HpcgWorkload
+from repro.workloads.randomaccess import RandomAccessConfig, RandomAccessWorkload
+from repro.workloads.stream import StreamConfig, StreamWorkload
+
+
+def session(engine, seed=5, period=128):
+    return SessionConfig(
+        seed=seed,
+        engine=engine,
+        tracer=TracerConfig(load_period=period, store_period=period),
+    )
+
+
+def small_workloads():
+    return {
+        "stream": StreamWorkload(StreamConfig(n=2048, iterations=3, blocks=2)),
+        "gups": RandomAccessWorkload(
+            RandomAccessConfig(
+                table_bytes=1 << 18, updates_per_iteration=1 << 11, iterations=3
+            )
+        ),
+        "hpcg": HpcgWorkload(
+            HpcgConfig(
+                nx=8, ny=8, nz=8, nlevels=2, n_iterations=2, blocks_per_kernel=2
+            )
+        ),
+    }
+
+
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+@pytest.mark.parametrize("workload_name", ["stream", "gups", "hpcg"])
+def test_engine_trace_passes_validator(engine, workload_name):
+    trace = run_workload(small_workloads()[workload_name], session(engine))
+    report = validate_trace(trace, HierarchyConfig())
+    assert report.ok, f"{engine}/{workload_name}:\n{report.summary()}"
+    assert trace.n_samples > 0
+
+
+@pytest.mark.parametrize("workload_name", ["stream", "gups"])
+def test_precise_vectorized_bit_identical(workload_name):
+    traces = {
+        engine: run_workload(small_workloads()[workload_name], session(engine))
+        for engine in ("precise", "vectorized")
+    }
+    diff = diff_traces(
+        traces["precise"], traces["vectorized"], ignore_metadata=("engine",)
+    )
+    assert diff.identical, diff.summary()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+def test_engine_hpcg16_passes_validator(engine):
+    """Heavier HPCG cross-check (CI slow job)."""
+    trace = run_workload(
+        HpcgWorkload(
+            HpcgConfig(
+                nx=16, ny=16, nz=16, nlevels=2, n_iterations=3,
+                blocks_per_kernel=4,
+            )
+        ),
+        session(engine, period=500),
+    )
+    report = validate_trace(trace, HierarchyConfig())
+    assert report.ok, report.summary()
+
+
+@pytest.mark.slow
+def test_precise_vectorized_bit_identical_hpcg():
+    traces = {
+        engine: run_workload(
+            HpcgWorkload(
+                HpcgConfig(nx=8, ny=8, nz=8, nlevels=2, n_iterations=2)
+            ),
+            session(engine, period=500),
+        )
+        for engine in ("precise", "vectorized")
+    }
+    diff = diff_traces(
+        traces["precise"], traces["vectorized"], ignore_metadata=("engine",)
+    )
+    assert diff.identical, diff.summary()

@@ -1,0 +1,198 @@
+"""Tests for the trace invariant checkers."""
+
+import numpy as np
+import pytest
+
+from repro.extrae.events import EventKind, TraceEvent
+from repro.extrae.trace import SampleTable, Trace
+from repro.extrae.tracer import TracerConfig
+from repro.memsim.datasource import DataSource
+from repro.memsim.hierarchy import HierarchyConfig
+from repro.pipeline import SessionConfig, run_workload
+from repro.validate import (
+    ValidationError,
+    inject_perturbation,
+    validate_trace,
+)
+from repro.workloads.stream import StreamConfig, StreamWorkload
+
+
+def stream_trace(engine="vectorized", seed=3):
+    return run_workload(
+        StreamWorkload(StreamConfig(n=1024, iterations=3, blocks=2)),
+        SessionConfig(
+            seed=seed,
+            engine=engine,
+            tracer=TracerConfig(load_period=64, store_period=64),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return stream_trace()
+
+
+def issues_for(report, check):
+    return [i for i in report.issues if i.check == check]
+
+
+class TestCleanTrace:
+    def test_fresh_trace_validates(self, trace):
+        report = validate_trace(trace, HierarchyConfig())
+        assert report.ok, report.summary()
+        assert report.n_samples == trace.n_samples
+
+    def test_all_checks_ran(self, trace):
+        report = validate_trace(trace, HierarchyConfig())
+        assert set(report.checks) >= {
+            "event-times", "sample-times", "regions", "addresses",
+            "sources", "intern-tables", "objects", "fold-mass",
+        }
+
+    def test_no_fold_skips_mass_check(self, trace):
+        report = validate_trace(trace, fold=False)
+        assert "fold-mass" not in report.checks
+        assert report.ok
+
+    def test_summary_mentions_verdict(self, trace):
+        assert "Trace validation: OK" in validate_trace(trace).summary()
+
+    def test_raise_on_error_is_noop_when_ok(self, trace):
+        validate_trace(trace).raise_on_error()
+
+    def test_empty_trace_validates(self):
+        report = validate_trace(Trace())
+        assert report.ok
+
+
+class TestCorruption:
+    def test_non_canonical_address_is_error(self, trace):
+        bad = inject_perturbation(trace, "address", 0, float(1 << 50))
+        report = validate_trace(bad)
+        assert not report.ok
+        assert issues_for(report, "addresses")
+
+    def test_negative_latency_is_error(self, trace):
+        lat = float(trace.sample_table().latency[3])
+        bad = inject_perturbation(trace, "latency", 3, -(lat + 100.0))
+        report = validate_trace(bad)
+        assert not report.ok
+        assert issues_for(report, "intern-tables")
+
+    def test_unsorted_sample_times_is_error(self, trace):
+        bad = inject_perturbation(trace, "time_ns", 0, 1e12)
+        report = validate_trace(bad)
+        assert issues_for(report, "sample-times")
+        assert not report.ok
+
+    def test_callstack_id_out_of_range_is_error(self, trace):
+        bad = inject_perturbation(
+            trace, "callstack_id", 1, trace.n_callstacks + 5
+        )
+        report = validate_trace(bad)
+        assert any(
+            "callstack_id" in i.message
+            for i in issues_for(report, "intern-tables")
+        )
+
+    def test_label_id_out_of_range_is_error(self, trace):
+        bad = inject_perturbation(trace, "label_id", 1, len(trace.labels) + 9)
+        report = validate_trace(bad)
+        assert any(
+            "label_id" in i.message for i in issues_for(report, "intern-tables")
+        )
+
+    def test_unknown_source_code_is_error(self, trace):
+        src = int(trace.sample_table().source[2])
+        bad = inject_perturbation(trace, "source", 2, 99 - src)
+        report = validate_trace(bad)
+        assert issues_for(report, "sources")
+        assert not report.ok
+
+    def test_remote_source_illegal_for_hierarchy(self, trace):
+        src = int(trace.sample_table().source[2])
+        bad = inject_perturbation(
+            trace, "source", 2, int(DataSource.REMOTE) - src
+        )
+        # Without a hierarchy REMOTE is a known DataSource: no error.
+        assert validate_trace(bad).ok
+        report = validate_trace(bad, HierarchyConfig())
+        assert not report.ok
+        assert any("remote" in i.message for i in issues_for(report, "sources"))
+
+    def test_raise_on_error_raises(self, trace):
+        bad = inject_perturbation(trace, "address", 0, float(1 << 50))
+        with pytest.raises(ValidationError, match="addresses"):
+            validate_trace(bad).raise_on_error()
+
+
+class TestEventInvariants:
+    def test_out_of_order_events_detected(self, trace):
+        events = list(trace.events)
+        events[0], events[-1] = (
+            TraceEvent(events[-1].time_ns, events[0].kind, events[0].name),
+            TraceEvent(events[0].time_ns, events[-1].kind, events[-1].name),
+        )
+        bad = Trace.from_parts(
+            metadata=trace.metadata,
+            events=events,
+            objects=trace.objects,
+            labels=trace.labels,
+            callstacks=trace.callstacks,
+            table=trace.sample_table(),
+        )
+        report = validate_trace(bad, fold=False)
+        assert issues_for(report, "event-times")
+
+    def test_unmatched_region_detected(self):
+        t = Trace.from_parts(
+            events=[TraceEvent(5.0, EventKind.REGION_ENTER, "lonely")]
+        )
+        report = validate_trace(t)
+        assert issues_for(report, "regions")
+        assert not report.ok
+
+
+class TestWarnings:
+    def test_low_matched_fraction_warns(self, trace):
+        # Demand that essentially all samples match objects: the STREAM
+        # trace has some unmatched samples, so an absurd threshold of
+        # 100% must warn (but not error).
+        report = validate_trace(trace, min_matched_fraction=1.01)
+        assert report.ok
+        assert report.warnings
+
+    def test_no_objects_warns(self, trace):
+        stripped = Trace.from_parts(
+            metadata=trace.metadata,
+            events=trace.events,
+            labels=trace.labels,
+            callstacks=trace.callstacks,
+            table=trace.sample_table(),
+        )
+        report = validate_trace(stripped, fold=False)
+        assert any(i.check == "addresses" for i in report.warnings)
+
+
+class TestSelfCheckMode:
+    def test_self_check_passes_on_clean_run(self):
+        trace = run_workload(
+            StreamWorkload(StreamConfig(n=512, iterations=2, blocks=2)),
+            SessionConfig(
+                seed=11,
+                engine="precise",
+                tracer=TracerConfig(
+                    load_period=64, store_period=64, self_check=True
+                ),
+            ),
+        )
+        assert trace.n_samples > 0
+
+    def test_run_workload_validate_kwarg(self):
+        trace = run_workload(
+            StreamWorkload(StreamConfig(n=512, iterations=2, blocks=2)),
+            SessionConfig(seed=11),
+            validate=True,
+        )
+        assert trace is not None
