@@ -9,10 +9,12 @@ Three tools mirroring the BSC workflow (monitor → fold → explore):
 * ``bsc-memtools-report`` — the full analysis: object resolution report
   and, for HPCG traces, the Figure-1 reproduction tables;
 * ``bsc-memtools-validate`` — run the trace invariant checkers
-  (:mod:`repro.validate`) over a trace file.
+  (:mod:`repro.validate`) over a trace file;
+* ``bsc-memtools-cache`` — inspect/clear/prune the content-addressed
+  folded-report cache (:mod:`repro.folding.cache`).
 
 All commands are also reachable as
-``python -m repro.cli <run|fold|report|validate>``.
+``python -m repro.cli <run|fold|report|validate|cache>``.
 """
 
 from __future__ import annotations
@@ -38,7 +40,14 @@ from repro.workloads.randomaccess import RandomAccessConfig
 from repro.workloads.stencil import StencilConfig
 from repro.workloads.stream import StreamConfig
 
-__all__ = ["main", "main_fold", "main_report", "main_run", "main_validate"]
+__all__ = [
+    "main",
+    "main_cache",
+    "main_fold",
+    "main_report",
+    "main_run",
+    "main_validate",
+]
 
 
 def _build_workload(args):
@@ -112,6 +121,12 @@ def main_fold(argv: list[str] | None = None) -> int:
     p.add_argument("--align", nargs="*", metavar="REGION", default=None,
                    help="piecewise-align instances on these regions' "
                         "enter events (default regions when given empty)")
+    p.add_argument("--cache", action="store_true",
+                   help="serve/store the folded report through the "
+                        "content-addressed on-disk cache")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="cache directory (implies --cache; default "
+                        "$REPRO_FOLD_CACHE_DIR or ~/.cache/repro/folding)")
     args = p.parse_args(argv)
 
     align = None
@@ -119,9 +134,15 @@ def main_fold(argv: list[str] | None = None) -> int:
         align = tuple(args.align) if args.align else (
             "ComputeSYMGS_ref", "ComputeSPMV_ref", "ComputeMG_ref"
         )
+    cache = None
+    if args.cache or args.cache_dir:
+        from repro.folding.cache import FoldCache
+
+        cache = FoldCache(args.cache_dir)
     trace = Trace.load(args.trace)
     report = fold_trace(trace, grid_points=args.grid,
-                        bandwidth=args.bandwidth, align_regions=align)
+                        bandwidth=args.bandwidth, align_regions=align,
+                        cache=cache)
     written = report.export_gnuplot(args.output_dir)
     print(report.summary())
     for path in written:
@@ -228,6 +249,36 @@ def main_validate(argv: list[str] | None = None) -> int:
     return 1 if (args.strict and report.warnings) else 0
 
 
+def main_cache(argv: list[str] | None = None) -> int:
+    """``bsc-memtools-cache``: manage the folded-report cache."""
+    p = argparse.ArgumentParser(
+        prog="bsc-memtools-cache",
+        description="Inspect, clear or prune the content-addressed "
+        "folded-report cache.",
+    )
+    p.add_argument("action", choices=["info", "clear", "prune"],
+                   nargs="?", default="info")
+    p.add_argument("--dir", default=None, metavar="DIR",
+                   help="cache directory (default $REPRO_FOLD_CACHE_DIR "
+                        "or ~/.cache/repro/folding)")
+    p.add_argument("--max-bytes", type=int, default=None,
+                   help="prune down to this size instead of the default "
+                        "bound")
+    args = p.parse_args(argv)
+
+    from repro.folding.cache import FoldCache
+
+    cache = FoldCache(args.dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached report(s)")
+    elif args.action == "prune":
+        removed = cache.prune(args.max_bytes)
+        print(f"evicted {removed} cached report(s)")
+    print(cache.stats().summary())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Dispatcher for ``python -m repro.cli``."""
     commands = {
@@ -235,6 +286,7 @@ def main(argv: list[str] | None = None) -> int:
         "fold": main_fold,
         "report": main_report,
         "validate": main_validate,
+        "cache": main_cache,
     }
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] not in commands:

@@ -20,6 +20,7 @@ legacy files with a warning.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import warnings
 import zipfile
@@ -90,10 +91,13 @@ class SampleTable:
         self._columns = columns
 
     def __getattr__(self, name: str) -> np.ndarray:
-        try:
-            return self._columns[name]
-        except KeyError:
-            raise AttributeError(name) from None
+        # Look up _columns via __dict__: during unpickling attributes
+        # are probed before __init__ ran, and falling through to
+        # self._columns here would recurse.
+        columns = self.__dict__.get("_columns")
+        if columns is None or name not in columns:
+            raise AttributeError(name)
+        return columns[name]
 
     def __len__(self) -> int:
         return int(self._columns["time_ns"].size)
@@ -132,6 +136,7 @@ class Trace:
         self._label_ids: dict[str, int] = {}
         self._blocks: list[tuple[SampleBlock, int]] = []  # (block, callstack id)
         self._table: SampleTable | None = None
+        self._digest: str | None = None
 
     # -- intern tables ----------------------------------------------------
     def callstack_id(self, stack: CallStack) -> int:
@@ -176,14 +181,58 @@ class Trace:
                 f"({event.time_ns} < {self.events[-1].time_ns})"
             )
         self.events.append(event)
+        self._digest = None
 
     def add_samples(self, block: SampleBlock, callstack: CallStack) -> None:
         """Attach a sample block taken under *callstack*."""
         self._blocks.append((block, self.callstack_id(callstack)))
         self._table = None
+        self._digest = None
 
     def add_object(self, record: ObjectRecord) -> None:
         self.objects.append(record)
+        self._digest = None
+
+    # -- pickling -----------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle the consolidated columnar form, not the raw blocks.
+
+        The per-batch :class:`SampleBlock` list exists only as a
+        recording buffer; shipping it (RankSet workers, the folded-
+        report cache) would roughly double the payload in thousands of
+        small objects.  The pickled trace is finalized-equivalent: its
+        samples live in the consolidated table.
+        """
+        state = self.__dict__.copy()
+        state["_table"] = self.sample_table()
+        state["_blocks"] = []
+        return state
+
+    # -- content addressing -------------------------------------------------
+    def digest(self) -> str:
+        """Content digest of the full trace (hex SHA-256).
+
+        Hashes the consolidated sample columns plus the JSON sidecar
+        parts (metadata, events, objects, intern tables) — exactly the
+        information :meth:`save` persists, so a save/load round-trip
+        keeps the digest.  Two traces with equal digests fold
+        identically; the report cache
+        (:class:`repro.folding.cache.FoldCache`) uses this as its
+        content address.  Cached until the next mutating ``add_*``.
+        """
+        if self._digest is not None:
+            return self._digest
+        # Consolidate first: merging sample blocks interns their labels,
+        # which the sidecar must already reflect when it is hashed.
+        table = self.sample_table()
+        h = hashlib.sha256()
+        h.update(json.dumps(self._sidecar(), sort_keys=True).encode())
+        for name in sorted(_SAMPLE_COLUMNS):
+            col = np.ascontiguousarray(table.column(name))
+            h.update(name.encode())
+            h.update(col.tobytes())
+        self._digest = h.hexdigest()
+        return self._digest
 
     # -- consolidated views ----------------------------------------------------
     @property
@@ -260,11 +309,10 @@ class Trace:
         return max(t) if t else 0.0
 
     # -- serialization ------------------------------------------------------------
-    def save(self, path: str | Path) -> Path:
-        """Write the trace as ``<path>`` (a zip holding npz + json)."""
-        path = Path(path)
-        table = self.sample_table()
-        sidecar = {
+    def _sidecar(self) -> dict:
+        """The JSON sidecar :meth:`save` writes (also hashed by
+        :meth:`digest`)."""
+        return {
             "schema": TRACE_SCHEMA_VERSION,
             "metadata": self.metadata,
             "labels": self._labels,
@@ -299,10 +347,15 @@ class Trace:
                 for o in self.objects
             ],
         }
+
+    def save(self, path: str | Path) -> Path:
+        """Write the trace as ``<path>`` (a zip holding npz + json)."""
+        path = Path(path)
+        table = self.sample_table()
         with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as zf:
             with zf.open("samples.npz", "w") as f:
                 np.savez(f, **table.columns())
-            zf.writestr("trace.json", json.dumps(sidecar))
+            zf.writestr("trace.json", json.dumps(self._sidecar()))
         return path
 
     @classmethod

@@ -20,20 +20,29 @@ evolution from coarse-grained sampling:
 * :mod:`repro.folding.lines` — the folded source-code view: the code
   line executing at each σ;
 * :mod:`repro.folding.report` — the combined three-direction report
-  (source code × memory × performance), with gnuplot-style exports.
+  (source code × memory × performance), with gnuplot-style exports;
+* :mod:`repro.folding.plan` — :class:`FoldPlan`, the reusable
+  trace-dependent half of a fold (sweeps fit many parameter points
+  against one plan);
+* :mod:`repro.folding.cache` — the opt-in content-addressed on-disk
+  report cache keyed by (trace digest, fold parameters).
 """
 
 from repro.folding.address import FoldedAddresses, fold_addresses
 from repro.folding.align import TimeWarp, build_warp
 from repro.folding.ascii_plot import render_figure
+from repro.folding.cache import FoldCache
 from repro.folding.detect import FoldInstances, instances_from_iterations, instances_from_regions
 from repro.folding.fold import FoldedSamples, fold_samples
 from repro.folding.lines import FoldedLines, fold_lines
 from repro.folding.model import FoldedCounters, FoldedCurve, fold_counters
+from repro.folding.plan import FoldPlan
 from repro.folding.report import FoldedReport, fold_trace
 
 __all__ = [
+    "FoldCache",
     "FoldInstances",
+    "FoldPlan",
     "TimeWarp",
     "FoldedAddresses",
     "FoldedCounters",

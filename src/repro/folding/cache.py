@@ -1,0 +1,247 @@
+"""Content-addressed on-disk cache for folded reports.
+
+Folding the same trace with the same parameters always yields the same
+report, so repeated CLI/:func:`~repro.pipeline.analyze_hpcg`
+invocations over a saved trace can skip the whole fold: the cache keys
+each report by the SHA-256 of (trace content digest, fold parameters,
+fold-code version) and stores it as one pickle file.  Hits return in
+milliseconds regardless of trace size.
+
+The cache is strictly opt-in: nothing in :mod:`repro` touches it
+unless a :class:`FoldCache` is passed to
+:func:`~repro.folding.report.fold_trace` /
+:func:`~repro.pipeline.analyze_hpcg`, or ``--cache`` is given to the
+CLI.  The default location is ``~/.cache/repro/folding`` (override
+with the ``REPRO_FOLD_CACHE_DIR`` environment variable or the
+``directory`` argument).  Total size is bounded: after every store the
+least-recently-used entries are evicted until the cache fits
+``max_bytes``.  ``python -m repro.cli cache {info,clear,prune}``
+inspects and manages it.
+
+Pickled entries are an internal format (unlike ``.bsctrace`` files):
+they are versioned by :data:`FOLD_CACHE_VERSION` — bump it whenever
+folded output changes — and any unreadable entry is treated as a miss
+and deleted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.extrae.trace import Trace
+
+__all__ = ["FOLD_CACHE_VERSION", "FoldCache"]
+
+#: Version of the folded-report pipeline baked into every cache key.
+#: Bump when folding output changes (new fit, changed clamps, new
+#: report fields) so stale entries miss instead of resurfacing.
+FOLD_CACHE_VERSION = 1
+
+_ENV_DIR = "REPRO_FOLD_CACHE_DIR"
+_SUFFIX = ".foldreport"
+
+
+def _default_directory() -> Path:
+    env = os.environ.get(_ENV_DIR)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "folding"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A snapshot of the cache directory."""
+
+    directory: Path
+    n_entries: int
+    total_bytes: int
+    max_bytes: int
+
+    def summary(self) -> str:
+        mb = self.total_bytes / 1e6
+        cap = self.max_bytes / 1e6
+        return (
+            f"fold cache at {self.directory}\n"
+            f"  entries: {self.n_entries}\n"
+            f"  size: {mb:.1f} MB of {cap:.0f} MB"
+        )
+
+
+class FoldCache:
+    """Size-bounded, content-addressed store of folded reports.
+
+    Two tiers: a small in-process memo (reports this process already
+    stored or loaded — hits cost microseconds) over the on-disk pickle
+    store (hits cost one read + unpickle, still milliseconds).  Both
+    are addressed by the same content key, so a hit on either tier is
+    bit-identical to refolding.
+
+    Parameters
+    ----------
+    directory:
+        Cache root (created on first store).  Default:
+        ``$REPRO_FOLD_CACHE_DIR``, else ``~/.cache/repro/folding``.
+    max_bytes:
+        Total on-disk size bound; least-recently-used entries are
+        evicted after each store until the cache fits.
+    memo_entries:
+        In-process memo capacity (reports kept alive in memory);
+        ``0`` disables the memo tier.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        max_bytes: int = 1_000_000_000,
+        memo_entries: int = 8,
+    ) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if memo_entries < 0:
+            raise ValueError(f"memo_entries must be >= 0, got {memo_entries}")
+        self.directory = Path(directory) if directory else _default_directory()
+        self.max_bytes = max_bytes
+        self.memo_entries = memo_entries
+        self._memo: OrderedDict[str, object] = OrderedDict()
+
+    # -- keys ----------------------------------------------------------------
+    def key(self, trace: Trace, **params) -> str:
+        """Content address of (trace, fold parameters)."""
+        blob = json.dumps(
+            {
+                "cache_version": FOLD_CACHE_VERSION,
+                "trace": trace.digest(),
+                "params": {k: _canonical(v) for k, v in sorted(params.items())},
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}{_SUFFIX}"
+
+    # -- store/fetch ---------------------------------------------------------
+    def get(self, key: str):
+        """The cached report for *key*, or ``None`` on a miss.
+
+        The memo tier is consulted first; a disk hit refreshes the
+        entry's mtime (LRU bookkeeping) and populates the memo.
+        Entries that cannot be read or unpickled are deleted and
+        reported as misses — the caller just refolds.  Every hit
+        returns a fresh report wrapper (annotation bands copied), so
+        annotating one returned report does not bleed into later hits.
+        """
+        memo = self._memo.get(key)
+        if memo is not None:
+            self._memo.move_to_end(key)
+            return _rewrap(memo)
+        path = self._path(key)
+        try:
+            with path.open("rb") as f:
+                report = pickle.load(f)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            path.unlink(missing_ok=True)
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        self._memoize(key, report)
+        return _rewrap(report)
+
+    def put(self, key: str, report) -> Path:
+        """Store *report* under *key* (atomic), then enforce the bound."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(report, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            Path(tmp).unlink(missing_ok=True)
+            raise
+        self._memoize(key, _rewrap(report))
+        self.prune()
+        return path
+
+    def _memoize(self, key: str, report) -> None:
+        if self.memo_entries <= 0:
+            return
+        self._memo[key] = report
+        self._memo.move_to_end(key)
+        while len(self._memo) > self.memo_entries:
+            self._memo.popitem(last=False)
+
+    # -- maintenance ---------------------------------------------------------
+    def _entries(self) -> list[Path]:
+        if not self.directory.is_dir():
+            return []
+        return [p for p in self.directory.iterdir() if p.suffix == _SUFFIX]
+
+    def stats(self) -> CacheStats:
+        entries = self._entries()
+        return CacheStats(
+            directory=self.directory,
+            n_entries=len(entries),
+            total_bytes=sum(p.stat().st_size for p in entries),
+            max_bytes=self.max_bytes,
+        )
+
+    def prune(self, max_bytes: int | None = None) -> int:
+        """Evict least-recently-used entries past the size bound.
+
+        Returns the number of entries removed.
+        """
+        bound = self.max_bytes if max_bytes is None else max_bytes
+        entries = sorted(
+            ((p.stat().st_mtime, p.stat().st_size, p) for p in self._entries()),
+            reverse=True,
+        )
+        total = 0
+        removed = 0
+        for _, size, path in entries:
+            total += size
+            if total > bound:
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def clear(self) -> int:
+        """Delete every entry (both tiers); returns the number removed."""
+        self._memo.clear()
+        entries = self._entries()
+        for path in entries:
+            path.unlink(missing_ok=True)
+        return len(entries)
+
+
+def _canonical(value):
+    """JSON-stable form of a fold parameter."""
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+def _rewrap(report):
+    """A fresh report wrapper sharing *report*'s arrays.
+
+    Callers may mutate the returned report's annotation bands
+    (``report.addresses.annotate(...)``); re-wrapping on every memo
+    store/hit keeps those mutations out of the memoized entry.
+    """
+    from dataclasses import replace as _replace
+
+    fresh = _replace(report.addresses, bands=list(report.addresses.bands))
+    return _replace(report, addresses=fresh)

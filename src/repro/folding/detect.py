@@ -10,6 +10,7 @@ effects) would smear the folded curves.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -39,9 +40,27 @@ class FoldInstances:
     def n(self) -> int:
         return len(self.intervals)
 
+    # The boundary arrays are consulted on every projection/counting
+    # pass (fold_samples, count_in_instances, plans), so they are built
+    # once per instance set instead of per call.  cached_property
+    # writes straight into __dict__, which a frozen dataclass permits.
+    @cached_property
+    def starts_ns(self) -> np.ndarray:
+        """Instance start times as a read-only array."""
+        starts = np.array([t0 for t0, _ in self.intervals], dtype=np.float64)
+        starts.setflags(write=False)
+        return starts
+
+    @cached_property
+    def ends_ns(self) -> np.ndarray:
+        """Instance end times as a read-only array."""
+        ends = np.array([t1 for _, t1 in self.intervals], dtype=np.float64)
+        ends.setflags(write=False)
+        return ends
+
     @property
     def durations_ns(self) -> np.ndarray:
-        return np.array([t1 - t0 for t0, t1 in self.intervals])
+        return self.ends_ns - self.starts_ns
 
     @property
     def mean_duration_ns(self) -> float:

@@ -45,9 +45,7 @@ def count_in_instances(table: SampleTable, instances: FoldInstances) -> int:
     no out-of-instance sample does.  The validator
     (:mod:`repro.validate.invariants`) checks the two agree.
     """
-    starts = np.array([iv[0] for iv in instances.intervals])
-    ends = np.array([iv[1] for iv in instances.intervals])
-    _, inside = _inside_mask(table.time_ns, starts, ends)
+    _, inside = _inside_mask(table.time_ns, instances.starts_ns, instances.ends_ns)
     return int(inside.sum())
 
 
@@ -62,8 +60,13 @@ class FoldedSamples:
     instance: np.ndarray
     #: counter name -> per-sample cumulative fraction in [0, 1]
     fractions: dict[str, np.ndarray] = field(default_factory=dict)
-    #: counter name -> per-instance total increment
+    #: counter name -> per-instance total increment (clamped at 0; see
+    #: ``degenerate`` for the instances whose raw increment was not
+    #: positive)
     totals: dict[str, np.ndarray] = field(default_factory=dict)
+    #: counter name -> per-instance mask of degenerate (non-positive)
+    #: raw increments — a flat counter, or boundary-interpolation noise
+    degenerate: dict[str, np.ndarray] = field(default_factory=dict)
 
     @property
     def n(self) -> int:
@@ -81,6 +84,7 @@ class FoldedSamples:
             instance=self.instance[mask],
             fractions={k: v[mask] for k, v in self.fractions.items()},
             totals=self.totals,
+            degenerate=self.degenerate,
         )
 
 
@@ -102,8 +106,8 @@ def fold_samples(
         alignment.
     """
     t = table.time_ns
-    starts = np.array([iv[0] for iv in instances.intervals])
-    ends = np.array([iv[1] for iv in instances.intervals])
+    starts = instances.starts_ns
+    ends = instances.ends_ns
 
     idx, inside = _inside_mask(t, starts, ends)
     idx = idx[inside]
@@ -124,17 +128,26 @@ def fold_samples(
 
     # Interpolate cumulative counters at instance boundaries from the
     # full (unfiltered) sample stream, then normalize per instance.
+    # A counter that did not move over an instance (or moved backwards
+    # under interpolation noise) has no cumulative direction: its raw
+    # increment is clamped to zero in ``totals`` — the same clamp the
+    # fraction denominator applies — and the instance is flagged in
+    # ``degenerate`` so downstream consumers can tell "genuinely zero
+    # rate" from "tiny but real".
     fractions: dict[str, np.ndarray] = {}
     totals: dict[str, np.ndarray] = {}
+    degenerate: dict[str, np.ndarray] = {}
     for name in SAMPLE_COUNTERS:
         series = table.column(name)
         c_start = np.interp(starts, t, series) if t.size else np.zeros_like(starts)
         c_end = np.interp(ends, t, series) if t.size else np.zeros_like(ends)
-        total = np.maximum(c_end - c_start, 1e-12)
+        raw = c_end - c_start
+        denom = np.maximum(raw, 1e-12)
         value = kept.column(name)
-        frac = (value - c_start[idx]) / total[idx]
+        frac = (value - c_start[idx]) / denom[idx]
         fractions[name] = np.clip(frac, 0.0, 1.0)
-        totals[name] = c_end - c_start
+        totals[name] = np.maximum(raw, 0.0)
+        degenerate[name] = raw <= 0.0
 
     return FoldedSamples(
         instances=instances,
@@ -143,4 +156,5 @@ def fold_samples(
         instance=idx,
         fractions=fractions,
         totals=totals,
+        degenerate=degenerate,
     )

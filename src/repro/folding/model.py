@@ -22,9 +22,9 @@ import numpy as np
 
 from repro.folding.fold import FoldedSamples
 from repro.simproc.machine import SAMPLE_COUNTERS
-from repro.util.pava import isotonic_fit
+from repro.util.pava import BinnedDesign, fit_design, make_design
 
-__all__ = ["FoldedCounters", "FoldedCurve", "fold_counters"]
+__all__ = ["FoldedCounters", "FoldedCurve", "counter_design", "fold_counters"]
 
 
 @dataclass
@@ -103,13 +103,34 @@ class FoldedCounters:
         return (hi - lo) * self.duration_ns
 
 
+def counter_design(
+    folded: FoldedSamples,
+    counters: tuple[str, ...] = SAMPLE_COUNTERS,
+) -> BinnedDesign:
+    """The shared kernel-regression design of *folded*'s counters.
+
+    One row per counter, in *counters* order.  Grid- and bandwidth-
+    independent: :class:`~repro.folding.plan.FoldPlan` caches it and
+    sweeps fit parameters against it.
+    """
+    if folded.n == 0:
+        raise ValueError("cannot fold counters without samples")
+    Y = np.stack([folded.fractions[name] for name in counters])
+    return make_design(folded.sigma, Y)
+
+
 def fold_counters(
     folded: FoldedSamples,
     grid_points: int = 201,
     bandwidth: float = 0.015,
     counters: tuple[str, ...] = SAMPLE_COUNTERS,
+    design: BinnedDesign | None = None,
 ) -> FoldedCounters:
     """Fit the folded cumulative/rate curves of every counter.
+
+    All counters share one Gaussian weight matrix over (grid × samples):
+    the kernel is built once and applied to every counter as a single
+    matmul, then the monotone projection runs row-wise (batched PAVA).
 
     Parameters
     ----------
@@ -120,18 +141,26 @@ def fold_counters(
     bandwidth:
         Gaussian kernel width in σ units; the ablation bench
         ``benchmarks/test_ablation_kernel.py`` sweeps this.
+    design:
+        Precomputed :func:`counter_design` (rows in *counters* order) —
+        pass it to reuse the sample-side work across parameter sweeps.
     """
     if folded.n == 0:
         raise ValueError("cannot fold counters without samples")
+    if design is None:
+        design = counter_design(folded, counters)
+    elif design.n_targets != len(counters):
+        raise ValueError(
+            f"design has {design.n_targets} targets for {len(counters)} counters"
+        )
     grid = np.linspace(0.0, 1.0, grid_points)
     duration = folded.instances.mean_duration_ns
+    fits = fit_design(design, grid, bandwidth)
     curves: dict[str, FoldedCurve] = {}
-    for name in counters:
-        y = folded.fractions[name]
-        cumulative = isotonic_fit(folded.sigma, y, grid, bandwidth=bandwidth)
+    for row, name in enumerate(counters):
         # Pin the cumulative ends: an instance starts at 0 and ends at 1
         # by construction.
-        cumulative = np.clip(cumulative, 0.0, 1.0)
+        cumulative = np.clip(fits[row], 0.0, 1.0)
         rate_sigma = np.gradient(cumulative, grid)
         rate_sigma = np.maximum(rate_sigma, 0.0)
         total = folded.counter_total_mean(name)

@@ -1,0 +1,150 @@
+"""Fold plans: reuse the trace-dependent folding work across fits.
+
+Folding a trace splits into two very different halves:
+
+* **trace-dependent** — detect and prune instances, compute each
+  sample's inside-mask and σ projection (optionally warped), interpolate
+  counter boundaries, resolve addresses, extract the source-line track.
+  This scales with the trace and is identical for every fit.
+* **parameter-dependent** — the kernel regression over (grid ×
+  samples) at one ``grid_points``/``bandwidth``/counter subset.
+
+:class:`FoldPlan` captures the first half once.  Sweeps that vary only
+fit parameters (the kernel ablation, bandwidth/grid scans,
+:func:`repro.parallel.fold_sweep`) call :meth:`FoldPlan.fold` per point
+instead of re-running :func:`~repro.folding.report.fold_trace` from
+scratch — bit-identical output, because ``fold_trace`` itself is just
+``FoldPlan.from_trace(...).fold(...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.extrae.trace import Trace
+from repro.folding.address import FoldedAddresses, fold_addresses
+from repro.folding.detect import FoldInstances, instances_from_iterations
+from repro.folding.fold import FoldedSamples, fold_samples
+from repro.folding.lines import FoldedLines, fold_lines
+from repro.folding.model import FoldedCounters, counter_design, fold_counters
+from repro.objects.registry import DataObjectRegistry
+from repro.simproc.machine import SAMPLE_COUNTERS
+from repro.util.pava import BinnedDesign
+
+__all__ = ["FoldPlan"]
+
+
+@dataclass
+class FoldPlan:
+    """The reusable trace-dependent half of a fold.
+
+    Build once with :meth:`from_trace`, then :meth:`fold` any number of
+    parameter points against it.  Kernel-regression designs are cached
+    per counter subset, so even the sample-side aggregation of the
+    batched fit is shared across a bandwidth/grid sweep.
+    """
+
+    trace: Trace
+    instances: FoldInstances
+    samples: FoldedSamples
+    addresses: FoldedAddresses
+    lines: FoldedLines
+    registry: DataObjectRegistry
+    _designs: dict[tuple[str, ...], BinnedDesign] = field(
+        default_factory=dict, repr=False
+    )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trace(
+        cls,
+        trace: Trace,
+        instances: FoldInstances | None = None,
+        registry: DataObjectRegistry | None = None,
+        prune_tolerance: float | None = 0.5,
+        align_regions: tuple[str, ...] | None = None,
+    ) -> "FoldPlan":
+        """Run the expensive trace-dependent folding work once.
+
+        Parameters mirror :func:`repro.folding.report.fold_trace` —
+        everything *except* the fit parameters, which stay free.
+        """
+        if instances is None:
+            instances = instances_from_iterations(trace)
+        if prune_tolerance is not None and instances.n >= 3:
+            instances = instances.prune_outliers(prune_tolerance)
+        if registry is None:
+            registry = DataObjectRegistry(trace.objects)
+        warp = None
+        if align_regions is not None:
+            from repro.folding.align import build_warp
+
+            warp = build_warp(trace, instances, align_regions)
+        samples = fold_samples(trace.sample_table(), instances, warp=warp)
+        return cls(
+            trace=trace,
+            instances=instances,
+            samples=samples,
+            addresses=fold_addresses(samples, registry),
+            lines=fold_lines(samples, trace),
+            registry=registry,
+        )
+
+    # ------------------------------------------------------------------
+    def design_for(self, counters: tuple[str, ...] = SAMPLE_COUNTERS) -> BinnedDesign:
+        """The cached kernel-regression design of a counter subset."""
+        key = tuple(counters)
+        design = self._designs.get(key)
+        if design is None:
+            design = counter_design(self.samples, key)
+            self._designs[key] = design
+        return design
+
+    def fold_counters(
+        self,
+        grid_points: int = 201,
+        bandwidth: float = 0.015,
+        counters: tuple[str, ...] = SAMPLE_COUNTERS,
+    ) -> FoldedCounters:
+        """Fit one parameter point against the cached design."""
+        return fold_counters(
+            self.samples,
+            grid_points=grid_points,
+            bandwidth=bandwidth,
+            counters=tuple(counters),
+            design=self.design_for(tuple(counters)),
+        )
+
+    def fold(
+        self,
+        grid_points: int = 201,
+        bandwidth: float = 0.015,
+        counters: tuple[str, ...] = SAMPLE_COUNTERS,
+    ):
+        """Assemble the full three-direction report at one fit point.
+
+        Everything but the counter fit is shared with the plan; the
+        address view is re-wrapped (arrays shared, annotation bands
+        fresh) so annotating one report does not leak into the next.
+        """
+        from repro.folding.report import FoldedReport
+
+        addresses = FoldedAddresses(
+            sigma=self.addresses.sigma,
+            address=self.addresses.address,
+            op=self.addresses.op,
+            source=self.addresses.source,
+            latency=self.addresses.latency,
+            object_index=self.addresses.object_index,
+            registry=self.addresses.registry,
+            bands=list(self.addresses.bands),
+        )
+        return FoldedReport(
+            trace=self.trace,
+            instances=self.instances,
+            samples=self.samples,
+            counters=self.fold_counters(grid_points, bandwidth, counters),
+            addresses=addresses,
+            lines=self.lines,
+            registry=self.registry,
+        )

@@ -10,15 +10,17 @@ does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
+import numpy as np
+
 from repro.extrae.trace import Trace
-from repro.folding.address import FoldedAddresses, fold_addresses
-from repro.folding.detect import FoldInstances, instances_from_iterations
-from repro.folding.fold import FoldedSamples, fold_samples
-from repro.folding.lines import FoldedLines, fold_lines
-from repro.folding.model import FoldedCounters, fold_counters
+from repro.folding.address import FoldedAddresses
+from repro.folding.detect import FoldInstances
+from repro.folding.fold import FoldedSamples
+from repro.folding.lines import FoldedLines
+from repro.folding.model import FoldedCounters
 from repro.memsim.datasource import DataSource
 from repro.objects.registry import DataObjectRegistry
 
@@ -59,65 +61,100 @@ class FoldedReport:
         * ``codeline.dat`` — σ, line-id, file, line
         * ``addresses.dat`` — σ, address, op, source, latency, object
         * ``counters.dat`` — σ, MIPS, IPC, per-instruction rates
+
+        Rows are assembled column-wise: each column is formatted in one
+        vectorized pass and the file written as a single join, instead
+        of one ``f.write`` per row (``bench_fold.py`` tracks the delta).
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         written = []
 
         path = directory / "codeline.dat"
-        with path.open("w") as f:
-            f.write("# sigma line_id function file line\n")
-            for i in range(self.lines.n):
-                fn, file, line = self.lines.line_of(i)
-                f.write(
-                    f"{self.lines.sigma[i]:.6f} {int(self.lines.line_id[i])} "
-                    f"{fn} {file} {line}\n"
-                )
+        li = self.lines
+        ids = np.asarray(li.line_id, dtype=np.int64)
+        table_cols = [
+            np.array([str(t[j]) for t in li.line_table], dtype=object)
+            for j in range(3)
+        ]
+        _write_columns(
+            path,
+            "# sigma line_id function file line",
+            _fmt_float(li.sigma, 6),
+            _fmt_int(li.line_id),
+            *(col[ids].tolist() if li.n else [] for col in table_cols),
+        )
         written.append(path)
 
         path = directory / "addresses.dat"
-        with path.open("w") as f:
-            f.write("# sigma address op source latency object\n")
-            a = self.addresses
-            for i in range(a.n):
-                obj = (
-                    self.registry.records[int(a.object_index[i])].name
-                    if a.object_index[i] >= 0
-                    else "-"
-                )
-                f.write(
-                    f"{a.sigma[i]:.6f} {int(a.address[i]):#x} {int(a.op[i])} "
-                    f"{DataSource(int(a.source[i])).pretty} {a.latency[i]:.1f} {obj}\n"
-                )
+        a = self.addresses
+        # Index -1 (unmatched) picks the trailing "-" sentinel.
+        names = np.array(
+            [rec.name for rec in self.registry.records] + ["-"], dtype=object
+        )
+        src_uniq, src_inv = np.unique(a.source, return_inverse=True)
+        src_pretty = np.array(
+            [DataSource(int(s)).pretty for s in src_uniq], dtype=object
+        )
+        _write_columns(
+            path,
+            "# sigma address op source latency object",
+            _fmt_float(a.sigma, 6),
+            _fmt_hex(a.address),
+            _fmt_int(a.op),
+            src_pretty[src_inv].tolist() if a.n else [],
+            _fmt_float(a.latency, 1),
+            names[a.object_index].tolist() if a.n else [],
+        )
         written.append(path)
 
         path = directory / "counters.dat"
         c = self.counters
-        mips = c.mips()
-        ipc = c.ipc()
         rates = {
             name: c.per_instruction(name)
             for name in ("branches", "l1d_misses", "l2_misses", "l3_misses")
         }
-        with path.open("w") as f:
-            f.write("# sigma mips ipc " + " ".join(rates) + "\n")
-            for i, s in enumerate(c.sigma):
-                cols = " ".join(f"{rates[name][i]:.6f}" for name in rates)
-                f.write(f"{s:.6f} {mips[i]:.1f} {ipc[i]:.4f} {cols}\n")
+        _write_columns(
+            path,
+            "# sigma mips ipc " + " ".join(rates),
+            _fmt_float(c.sigma, 6),
+            _fmt_float(c.mips(), 1),
+            _fmt_float(c.ipc(), 4),
+            *(_fmt_float(rates[name], 6) for name in rates),
+        )
         written.append(path)
 
         path = directory / "objects.dat"
-        with path.open("w") as f:
-            f.write("# name kind start end bytes_user\n")
-            for rec in self.registry.records:
-                f.write(
-                    f"{rec.name} {rec.kind} {rec.start:#x} {rec.end:#x} "
-                    f"{rec.bytes_user}\n"
-                )
-            for band in self.addresses.bands:
-                f.write(f"{band.label} band {band.lo:#x} {band.hi:#x} 0\n")
+        rows = [
+            f"{rec.name} {rec.kind} {rec.start:#x} {rec.end:#x} {rec.bytes_user}"
+            for rec in self.registry.records
+        ]
+        rows += [
+            f"{band.label} band {band.lo:#x} {band.hi:#x} 0"
+            for band in self.addresses.bands
+        ]
+        path.write_text("\n".join(["# name kind start end bytes_user", *rows]) + "\n")
         written.append(path)
         return written
+
+
+def _fmt_float(values: np.ndarray, decimals: int) -> np.ndarray:
+    """Format a float column in one vectorized pass."""
+    return np.char.mod(f"%.{decimals}f", np.asarray(values, dtype=np.float64))
+
+
+def _fmt_int(values: np.ndarray) -> list[str]:
+    return [str(v) for v in np.asarray(values).astype(np.int64).tolist()]
+
+
+def _fmt_hex(values: np.ndarray) -> list[str]:
+    return [hex(v) for v in np.asarray(values).astype(np.int64).tolist()]
+
+
+def _write_columns(path: Path, header: str, *columns) -> None:
+    """Write ``header`` plus space-joined *columns* as one text blob."""
+    rows = map(" ".join, zip(*columns))
+    path.write_text("\n".join([header, *rows]) + "\n")
 
 
 def fold_trace(
@@ -128,8 +165,13 @@ def fold_trace(
     bandwidth: float = 0.015,
     prune_tolerance: float | None = 0.5,
     align_regions: tuple[str, ...] | None = None,
+    cache=None,
 ) -> FoldedReport:
     """One-call folding of a trace into the three-direction report.
+
+    Equivalent to ``FoldPlan.from_trace(...).fold(...)`` — callers that
+    fold the same trace at several parameter points should build the
+    :class:`~repro.folding.plan.FoldPlan` themselves and reuse it.
 
     Parameters
     ----------
@@ -148,28 +190,38 @@ def fold_trace(
         warp built from these regions' enter events
         (:mod:`repro.folding.align`) instead of the linear per-instance
         projection — robust against intra-instance perturbation.
+    cache:
+        Optional :class:`repro.folding.cache.FoldCache`.  When given,
+        a report previously folded from a bit-identical trace at these
+        exact parameters is returned from disk; otherwise the fresh
+        report is stored before returning.  Only default *instances*
+        and *registry* are cacheable (explicit ones bypass the cache).
     """
-    if instances is None:
-        instances = instances_from_iterations(trace)
-    if prune_tolerance is not None and instances.n >= 3:
-        instances = instances.prune_outliers(prune_tolerance)
-    if registry is None:
-        registry = DataObjectRegistry(trace.objects)
-    warp = None
-    if align_regions is not None:
-        from repro.folding.align import build_warp
+    from repro.folding.plan import FoldPlan
 
-        warp = build_warp(trace, instances, align_regions)
-    folded = fold_samples(trace.sample_table(), instances, warp=warp)
-    counters = fold_counters(folded, grid_points=grid_points, bandwidth=bandwidth)
-    addresses = fold_addresses(folded, registry)
-    lines = fold_lines(folded, trace)
-    return FoldedReport(
-        trace=trace,
+    cacheable = cache is not None and instances is None and registry is None
+    if cacheable:
+        key = cache.key(
+            trace,
+            grid_points=grid_points,
+            bandwidth=bandwidth,
+            prune_tolerance=prune_tolerance,
+            align_regions=align_regions,
+        )
+        hit = cache.get(key)
+        if hit is not None:
+            # Entries are stored without the (large) input trace; the
+            # caller's live trace is bit-identical by key construction.
+            hit.trace = trace
+            return hit
+    plan = FoldPlan.from_trace(
+        trace,
         instances=instances,
-        samples=folded,
-        counters=counters,
-        addresses=addresses,
-        lines=lines,
         registry=registry,
+        prune_tolerance=prune_tolerance,
+        align_regions=align_regions,
     )
+    report = plan.fold(grid_points=grid_points, bandwidth=bandwidth)
+    if cacheable:
+        cache.put(key, replace(report, trace=None))
+    return report

@@ -8,8 +8,28 @@ configuration.  Ranks are simulated independently — halo exchange
 traffic is modeled inside each rank's stream (see
 ``HpcgWorkload._halo_exchange``) because only the *addresses* of halo
 data matter to the memory analysis, not the values.
+
+:mod:`repro.parallel.sweeps` reuses the same pool machinery for fold
+parameter sweeps (bandwidth/grid points against one shared
+:class:`~repro.folding.plan.FoldPlan` per worker) and seed-stability
+sweeps.
 """
 
 from repro.parallel.ranks import RankResult, RankSet
+from repro.parallel.sweeps import (
+    SeedResult,
+    SweepPoint,
+    SweepResult,
+    fold_sweep,
+    seed_sweep,
+)
 
-__all__ = ["RankResult", "RankSet"]
+__all__ = [
+    "RankResult",
+    "RankSet",
+    "SeedResult",
+    "SweepPoint",
+    "SweepResult",
+    "fold_sweep",
+    "seed_sweep",
+]

@@ -1,0 +1,205 @@
+"""Parameter sweeps over the folding fast path.
+
+Folding a trace at many (grid, bandwidth) points — e.g. the kernel
+ablation in :mod:`benchmarks` or a seed-stability study — is
+embarrassingly parallel: the expensive trace-dependent work is shared
+(one :class:`~repro.folding.plan.FoldPlan` per trace), and each point
+is an independent fit.  :func:`fold_sweep` ships the trace to each
+worker **once** (pool initializer), builds the plan there, and folds
+that worker's share of points against it; :func:`seed_sweep` runs a
+workload at several seeds and folds each resulting trace.
+
+Both functions reuse the serial-fallback discipline of
+:class:`~repro.parallel.ranks.RankSet`: one worker, an unpicklable
+input, or a sandbox that cannot spawn processes all fall back to a
+sequential in-process loop producing bit-identical results.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+from repro.extrae.trace import Trace
+from repro.folding.plan import FoldPlan
+from repro.folding.report import FoldedReport
+from repro.parallel.ranks import _picklable
+from repro.pipeline import SessionConfig, run_workload
+from repro.workloads.base import Workload
+
+__all__ = ["SweepPoint", "SweepResult", "SeedResult", "fold_sweep", "seed_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (grid_points, bandwidth) fold-parameter combination."""
+
+    grid_points: int
+    bandwidth: float
+
+
+@dataclass
+class SweepResult:
+    """A folded report at one sweep point."""
+
+    point: SweepPoint
+    report: FoldedReport
+
+
+@dataclass
+class SeedResult:
+    """One seed's trace and folded report."""
+
+    seed: int
+    report: FoldedReport
+
+
+# Per-worker state: the plan is built once per worker process by the
+# pool initializer and reused for every point that worker folds.
+_WORKER_PLAN: FoldPlan | None = None
+
+
+def _init_fold_worker(
+    trace: Trace,
+    prune_tolerance: float | None,
+    align_regions: tuple[str, ...] | None,
+) -> None:
+    global _WORKER_PLAN
+    _WORKER_PLAN = FoldPlan.from_trace(
+        trace, prune_tolerance=prune_tolerance, align_regions=align_regions
+    )
+
+
+def _fold_point(point: SweepPoint) -> FoldedReport:
+    report = _WORKER_PLAN.fold(
+        grid_points=point.grid_points, bandwidth=point.bandwidth
+    )
+    # The caller already holds the trace; don't pickle it back per point.
+    return replace(report, trace=None)
+
+
+def fold_sweep(
+    trace: Trace,
+    bandwidths: Sequence[float] = (0.015,),
+    grid_points: Sequence[int] = (201,),
+    prune_tolerance: float | None = 0.5,
+    align_regions: tuple[str, ...] | None = None,
+    max_workers: int | None = None,
+) -> list[SweepResult]:
+    """Fold *trace* at every (grid, bandwidth) combination.
+
+    Points are the cross product ``grid_points × bandwidths`` in that
+    nesting order, and results come back in point order regardless of
+    execution order.  With more than one worker the trace crosses to
+    each worker once and every worker reuses one plan; with one worker
+    (or an unpicklable trace, or no spawnable pool) the same points are
+    folded serially against a single in-process plan — same reports
+    either way.
+
+    ``max_workers=None`` picks ``min(n_points, cpu_count)``; ``1``
+    forces the serial path.
+    """
+    if max_workers is not None and max_workers < 1:
+        raise ValueError(f"max_workers must be positive, got {max_workers}")
+    points = [
+        SweepPoint(grid_points=g, bandwidth=b)
+        for g in grid_points
+        for b in bandwidths
+    ]
+    if not points:
+        return []
+    workers = (
+        min(max_workers, len(points))
+        if max_workers is not None
+        else min(len(points), os.cpu_count() or 1)
+    )
+    if workers > 1 and len(points) > 1 and _picklable(trace):
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_fold_worker,
+                initargs=(trace, prune_tolerance, align_regions),
+            ) as pool:
+                futures = [pool.submit(_fold_point, p) for p in points]
+                reports = [f.result() for f in futures]
+            for report in reports:
+                report.trace = trace
+            return [SweepResult(p, r) for p, r in zip(points, reports)]
+        except (pickle.PicklingError, BrokenProcessPool, OSError):
+            # Pool unavailable (e.g. a sandbox forbids spawning):
+            # redo the identical computation serially.
+            pass
+    plan = FoldPlan.from_trace(
+        trace, prune_tolerance=prune_tolerance, align_regions=align_regions
+    )
+    return [
+        SweepResult(
+            p, plan.fold(grid_points=p.grid_points, bandwidth=p.bandwidth)
+        )
+        for p in points
+    ]
+
+
+def _run_seed(
+    seed: int,
+    config: SessionConfig,
+    workload_factory: Callable[[], Workload],
+    grid_points: int,
+    bandwidth: float,
+) -> SeedResult:
+    """Run and fold one seed (top-level for picklability)."""
+    trace = run_workload(workload_factory(), config.with_seed(seed))
+    plan = FoldPlan.from_trace(trace)
+    return SeedResult(
+        seed=seed, report=plan.fold(grid_points=grid_points, bandwidth=bandwidth)
+    )
+
+
+def seed_sweep(
+    workload_factory: Callable[[], Workload],
+    seeds: Sequence[int],
+    config: SessionConfig | None = None,
+    grid_points: int = 201,
+    bandwidth: float = 0.015,
+    max_workers: int | None = None,
+) -> list[SeedResult]:
+    """Run ``workload_factory()`` at every seed and fold each trace.
+
+    The workhorse of seed-stability studies: how much do folded curves
+    move under ASLR/sampling randomization alone?  Each seed is a full
+    independent simulation, so seeds execute in a process pool when
+    available (results in seed order, bit-identical to serial); the
+    factory must be a picklable top-level callable for the pool path.
+    """
+    if max_workers is not None and max_workers < 1:
+        raise ValueError(f"max_workers must be positive, got {max_workers}")
+    config = config or SessionConfig()
+    seeds = list(seeds)
+    if not seeds:
+        return []
+    workers = (
+        min(max_workers, len(seeds))
+        if max_workers is not None
+        else min(len(seeds), os.cpu_count() or 1)
+    )
+    if workers > 1 and len(seeds) > 1 and _picklable(workload_factory):
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(
+                        _run_seed, seed, config, workload_factory,
+                        grid_points, bandwidth,
+                    )
+                    for seed in seeds
+                ]
+                return [f.result() for f in futures]
+        except (pickle.PicklingError, BrokenProcessPool, OSError):
+            pass
+    return [
+        _run_seed(seed, config, workload_factory, grid_points, bandwidth)
+        for seed in seeds
+    ]

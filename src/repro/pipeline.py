@@ -132,7 +132,14 @@ def analyze_hpcg(
     trace: Trace,
     bandwidth: float = 0.015,
     grid_points: int = 201,
+    cache=None,
 ) -> tuple[FoldedReport, Figure1]:
-    """Fold an HPCG trace and run the full §III analysis."""
-    report = fold_trace(trace, grid_points=grid_points, bandwidth=bandwidth)
+    """Fold an HPCG trace and run the full §III analysis.
+
+    Pass a :class:`repro.folding.cache.FoldCache` as *cache* to serve
+    repeated analyses of the same trace from disk.
+    """
+    report = fold_trace(
+        trace, grid_points=grid_points, bandwidth=bandwidth, cache=cache
+    )
     return report, build_figure1(report)

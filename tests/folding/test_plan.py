@@ -1,0 +1,273 @@
+"""Fold plans, parameter sweeps, and the fast-path equivalence suite.
+
+The acceptance property of the whole folding fast path: every way of
+producing a folded report — ``fold_trace`` cold, ``FoldPlan`` reuse,
+``fold_sweep``, a report-cache hit — yields bit-identical curves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.extrae.trace import SampleTable
+from repro.extrae.tracer import TracerConfig
+from repro.folding.detect import FoldInstances
+from repro.folding.fold import fold_samples
+from repro.folding.model import fold_counters
+from repro.folding.plan import FoldPlan
+from repro.folding.report import fold_trace
+from repro.parallel import SweepPoint, fold_sweep, seed_sweep
+from repro.pipeline import SessionConfig, run_workload
+from repro.simproc.machine import SAMPLE_COUNTERS
+from repro.validate import validate_trace
+from repro.workloads.stream import StreamConfig, StreamWorkload
+
+
+def stream_trace(seed=3, engine="analytic", n=1 << 14, iterations=3):
+    return run_workload(
+        StreamWorkload(StreamConfig(n=n, iterations=iterations, blocks=2)),
+        SessionConfig(
+            seed=seed,
+            engine=engine,
+            tracer=TracerConfig(load_period=64, store_period=64),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return stream_trace()
+
+
+def assert_reports_identical(a, b):
+    """Bit-identity of every folded array the report exposes."""
+    np.testing.assert_array_equal(a.counters.sigma, b.counters.sigma)
+    assert a.counters.curves.keys() == b.counters.curves.keys()
+    for name in a.counters.curves:
+        ca, cb = a.counters.curves[name], b.counters.curves[name]
+        np.testing.assert_array_equal(ca.cumulative, cb.cumulative)
+        np.testing.assert_array_equal(ca.rate, cb.rate)
+    np.testing.assert_array_equal(a.samples.sigma, b.samples.sigma)
+    np.testing.assert_array_equal(a.addresses.address, b.addresses.address)
+    np.testing.assert_array_equal(a.addresses.sigma, b.addresses.sigma)
+    np.testing.assert_array_equal(a.lines.line_id, b.lines.line_id)
+
+
+class TestFoldPlan:
+    def test_fold_matches_fold_trace(self, trace):
+        plan = FoldPlan.from_trace(trace)
+        for bw in (0.01, 0.015, 0.05):
+            assert_reports_identical(
+                plan.fold(bandwidth=bw), fold_trace(trace, bandwidth=bw)
+            )
+
+    def test_grid_points_vary(self, trace):
+        plan = FoldPlan.from_trace(trace)
+        for gp in (51, 201):
+            report = plan.fold(grid_points=gp)
+            assert report.counters.sigma.size == gp
+            assert_reports_identical(report, fold_trace(trace, grid_points=gp))
+
+    def test_design_cached_per_counter_subset(self, trace):
+        plan = FoldPlan.from_trace(trace)
+        d1 = plan.design_for(SAMPLE_COUNTERS)
+        assert plan.design_for(SAMPLE_COUNTERS) is d1
+        sub = SAMPLE_COUNTERS[:3]
+        d2 = plan.design_for(sub)
+        assert d2 is not d1 and d2.n_targets == 3
+        assert plan.design_for(sub) is d2
+
+    def test_counter_subset_fold(self, trace):
+        plan = FoldPlan.from_trace(trace)
+        counters = plan.fold_counters(counters=SAMPLE_COUNTERS[:2])
+        assert set(counters.curves) == set(SAMPLE_COUNTERS[:2])
+        full = fold_counters(plan.samples, counters=SAMPLE_COUNTERS[:2])
+        for name in counters.curves:
+            np.testing.assert_array_equal(
+                counters.curves[name].cumulative, full.curves[name].cumulative
+            )
+
+    def test_annotation_does_not_leak_between_folds(self, trace):
+        plan = FoldPlan.from_trace(trace)
+        first = plan.fold()
+        first.addresses.annotate("halo", 0, 4096)
+        assert plan.addresses.bands == []
+        assert fold_trace(trace).addresses.bands == []
+        assert plan.fold().addresses.bands == []
+
+    def test_prune_tolerance_none(self, trace):
+        plan = FoldPlan.from_trace(trace, prune_tolerance=None)
+        assert_reports_identical(
+            plan.fold(), fold_trace(trace, prune_tolerance=None)
+        )
+
+
+class TestDegenerateTotals:
+    """Regression for the totals/denominator inconsistency: a counter
+    that does not advance over an instance must yield zero totals (not
+    the raw, possibly negative increment), finite fractions, a flagged
+    ``degenerate`` mask, and an all-zero folded rate."""
+
+    def _table(self, times, flat_value=7.5):
+        n = times.size
+        cols = {
+            "time_ns": times.astype(np.float64),
+            "address": np.arange(n, dtype=np.uint64),
+            "op": np.zeros(n, dtype=np.int8),
+            "source": np.ones(n, dtype=np.int8),
+            "latency": np.ones(n, dtype=np.float32),
+            "callstack_id": np.zeros(n, dtype=np.int32),
+            "label_id": np.zeros(n, dtype=np.int32),
+        }
+        for name in SAMPLE_COUNTERS:
+            cols[name] = times.astype(np.float64)  # advancing counters
+        cols["flops"] = np.full(n, flat_value)  # flat -> degenerate
+        return SampleTable(cols)
+
+    def test_flat_counter_clamped_and_flagged(self):
+        table = self._table(np.linspace(5.0, 195.0, 40))
+        instances = FoldInstances("iter", ((0.0, 100.0), (100.0, 200.0)))
+        folded = fold_samples(table, instances)
+        np.testing.assert_array_equal(folded.totals["flops"], 0.0)
+        assert folded.degenerate["flops"].all()
+        assert not folded.degenerate["instructions"].any()
+        assert (folded.totals["instructions"] > 0).all()
+        frac = folded.fractions["flops"]
+        assert np.isfinite(frac).all()
+        assert ((frac >= 0.0) & (frac <= 1.0)).all()
+
+    def test_flat_counter_rate_zero(self):
+        table = self._table(np.linspace(5.0, 195.0, 60))
+        instances = FoldInstances("iter", ((0.0, 100.0), (100.0, 200.0)))
+        folded = fold_samples(table, instances)
+        counters = fold_counters(folded, grid_points=41, bandwidth=0.05)
+        curve = counters.curves["flops"]
+        assert np.isfinite(curve.rate).all()
+        np.testing.assert_array_equal(curve.rate, 0.0)
+        assert curve.total_mean == 0.0
+
+    def test_totals_never_negative(self, trace):
+        folded = fold_samples(
+            trace.sample_table(), FoldPlan.from_trace(trace).instances
+        )
+        for name in SAMPLE_COUNTERS:
+            assert (folded.totals[name] >= 0.0).all()
+            # flagged instances are exactly the clamped ones
+            np.testing.assert_array_equal(
+                folded.degenerate[name], folded.totals[name] == 0.0
+            )
+
+
+class TestFoldSweep:
+    def test_matches_plan_folds(self, trace):
+        bws = (0.01, 0.02, 0.05)
+        results = fold_sweep(trace, bandwidths=bws, max_workers=1)
+        assert [r.point for r in results] == [
+            SweepPoint(grid_points=201, bandwidth=bw) for bw in bws
+        ]
+        plan = FoldPlan.from_trace(trace)
+        for r in results:
+            assert_reports_identical(r.report, plan.fold(bandwidth=r.point.bandwidth))
+
+    def test_grid_cross_product_order(self, trace):
+        results = fold_sweep(
+            trace, bandwidths=(0.01, 0.05), grid_points=(51, 101), max_workers=1
+        )
+        assert [(r.point.grid_points, r.point.bandwidth) for r in results] == [
+            (51, 0.01), (51, 0.05), (101, 0.01), (101, 0.05),
+        ]
+        for r in results:
+            assert r.report.counters.sigma.size == r.point.grid_points
+
+    def test_parallel_matches_serial(self, trace):
+        bws = (0.01, 0.03)
+        serial = fold_sweep(trace, bandwidths=bws, max_workers=1)
+        parallel = fold_sweep(trace, bandwidths=bws, max_workers=2)
+        for s, p in zip(serial, parallel):
+            assert s.point == p.point
+            assert p.report.trace is trace
+            assert_reports_identical(s.report, p.report)
+
+    def test_empty_sweep(self, trace):
+        assert fold_sweep(trace, bandwidths=()) == []
+
+    def test_rejects_bad_workers(self, trace):
+        with pytest.raises(ValueError):
+            fold_sweep(trace, max_workers=0)
+
+
+def _stream_factory():
+    return StreamWorkload(StreamConfig(n=1 << 13, iterations=2, blocks=2))
+
+
+class TestSeedSweep:
+    def test_seeds_deterministic(self):
+        a = seed_sweep(_stream_factory, seeds=[1, 2], grid_points=51,
+                       max_workers=1)
+        b = seed_sweep(_stream_factory, seeds=[1, 2], grid_points=51,
+                       max_workers=1)
+        assert [r.seed for r in a] == [1, 2]
+        for ra, rb in zip(a, b):
+            assert_reports_identical(ra.report, rb.report)
+
+    def test_different_seeds_differ(self):
+        a, b = seed_sweep(_stream_factory, seeds=[1, 2], grid_points=51,
+                          max_workers=1)
+        assert not np.array_equal(
+            a.report.addresses.address, b.report.addresses.address
+        )
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            seed_sweep(_stream_factory, seeds=[1], max_workers=-1)
+
+
+class TestValidatorOnFastPaths:
+    """Every new report-producing path carries a trace that still
+    passes the full invariant suite (fold-mass conservation included)."""
+
+    def test_plan_fold(self, trace):
+        report = FoldPlan.from_trace(trace).fold()
+        validate_trace(report.trace).raise_on_error()
+
+    def test_fold_sweep(self, trace):
+        for r in fold_sweep(trace, bandwidths=(0.015,), max_workers=1):
+            validate_trace(r.report.trace).raise_on_error()
+
+    def test_cache_hit(self, trace, tmp_path):
+        from repro.folding.cache import FoldCache
+
+        cache = FoldCache(directory=tmp_path)
+        fold_trace(trace, cache=cache)
+        hit = fold_trace(trace, cache=cache)
+        validate_trace(hit.trace).raise_on_error()
+
+
+@pytest.mark.slow
+class TestFastPathEquivalenceMatrix:
+    """Plan-reuse and cache hits are bit-identical to cold folds for
+    every engine × workload combination the suite exercises."""
+
+    @pytest.mark.parametrize("engine", ["analytic", "precise", "vectorized"])
+    def test_engines(self, engine, tmp_path):
+        trace = stream_trace(seed=11, engine=engine, n=1 << 12, iterations=3)
+        cold = fold_trace(trace)
+        assert_reports_identical(cold, FoldPlan.from_trace(trace).fold())
+        from repro.folding.cache import FoldCache
+
+        cache = FoldCache(directory=tmp_path)
+        fold_trace(trace, cache=cache)
+        assert_reports_identical(cold, fold_trace(trace, cache=cache))
+
+    def test_hpcg_workload(self, hpcg_trace, tmp_path):
+        from repro.folding.cache import FoldCache
+
+        cold = fold_trace(hpcg_trace)
+        plan = FoldPlan.from_trace(hpcg_trace)
+        assert_reports_identical(cold, plan.fold())
+        cache = FoldCache(directory=tmp_path)
+        fold_trace(hpcg_trace, cache=cache)
+        assert_reports_identical(cold, fold_trace(hpcg_trace, cache=cache))
+        for r in fold_sweep(hpcg_trace, bandwidths=(0.01, 0.05), max_workers=1):
+            assert_reports_identical(
+                r.report, fold_trace(hpcg_trace, bandwidth=r.point.bandwidth)
+            )
