@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.extrae.index import group_rows
 from repro.extrae.trace import SampleTable, Trace
 from repro.memsim.datasource import DataSource
 from repro.objects.registry import DataObjectRegistry
@@ -104,13 +105,15 @@ def latency_breakdown(
     if table.n == 0:
         return out
 
-    for code in np.unique(table.source):
-        mask = table.source == code
-        values = lat[mask]
+    # One grouping pass per key column instead of a full-table boolean
+    # mask per distinct value; each group's rows are ascending, so the
+    # float reductions see the same elements in the same order.
+    for code, rows in zip(*group_rows(table.source)):
+        values = lat[rows]
         out.by_source.append(
             SourceCost(
                 source=DataSource(int(code)),
-                count=int(mask.sum()),
+                count=int(rows.size),
                 mean=float(values.mean()),
                 p50=float(np.median(values)),
                 p95=float(np.percentile(values, 95)),
@@ -121,16 +124,15 @@ def latency_breakdown(
 
     if registry is not None and len(registry):
         idx = registry.resolve_bulk(table.address)
-        for rec_i in np.unique(idx):
-            mask = idx == rec_i
-            values = lat[mask]
+        for rec_i, rows in zip(*group_rows(idx)):
+            values = lat[rows]
             name = (
                 registry.records[int(rec_i)].name if rec_i >= 0 else "(unmatched)"
             )
             out.by_object.append(
                 ObjectCost(
                     name=name,
-                    count=int(mask.sum()),
+                    count=int(rows.size),
                     mean=float(values.mean()),
                     cost_share=float(values.sum()) / total if total else 0.0,
                 )

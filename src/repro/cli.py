@@ -11,10 +11,12 @@ Three tools mirroring the BSC workflow (monitor → fold → explore):
 * ``bsc-memtools-validate`` — run the trace invariant checkers
   (:mod:`repro.validate`) over a trace file;
 * ``bsc-memtools-cache`` — inspect/clear/prune the content-addressed
-  folded-report cache (:mod:`repro.folding.cache`).
+  folded-report cache (:mod:`repro.folding.cache`);
+* ``bsc-memtools-trace`` — inspect a trace container (schema,
+  compression, column stats) or convert between container versions.
 
 All commands are also reachable as
-``python -m repro.cli <run|fold|report|validate|cache>``.
+``python -m repro.cli <run|fold|report|validate|cache|trace>``.
 """
 
 from __future__ import annotations
@@ -23,7 +25,8 @@ import argparse
 import sys
 
 from repro.analysis.figures import build_figure1
-from repro.extrae.trace import Trace
+from repro.extrae.storage import TRACE_COMPRESSIONS
+from repro.extrae.trace import TRACE_SCHEMA_VERSIONS, Trace
 from repro.extrae.tracer import TracerConfig
 from repro.folding.report import fold_trace
 from repro.memsim.engines import ENGINE_NAMES
@@ -46,6 +49,7 @@ __all__ = [
     "main_fold",
     "main_report",
     "main_run",
+    "main_trace",
     "main_validate",
 ]
 
@@ -90,6 +94,11 @@ def main_run(argv: list[str] | None = None) -> int:
     p.add_argument("--no-multiplex", action="store_true",
                    help="assume load+store groups co-schedulable")
     p.add_argument("-o", "--output", default="run.bsctrace")
+    p.add_argument("--trace-version", type=int, choices=list(TRACE_SCHEMA_VERSIONS),
+                   default=2, help="trace container version to write")
+    p.add_argument("--compression", choices=list(TRACE_COMPRESSIONS),
+                   default="none",
+                   help="v2 column compression (v1 is always deflated)")
     args = p.parse_args(argv)
 
     config = SessionConfig(
@@ -102,7 +111,8 @@ def main_run(argv: list[str] | None = None) -> int:
         ),
     )
     trace = run_workload(_build_workload(args), config)
-    path = trace.save(args.output)
+    path = trace.save(args.output, version=args.trace_version,
+                      compression=args.compression)
     print(f"wrote {path} ({trace.n_samples} samples, "
           f"{len(trace.events)} events, {len(trace.objects)} objects)")
     return 0
@@ -279,6 +289,84 @@ def main_cache(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _trace_info(path: str) -> None:
+    import json
+    import zipfile
+
+    with zipfile.ZipFile(path) as zf:
+        sidecar = json.loads(zf.read("trace.json"))
+        infos = zf.infolist()
+    schema = sidecar.get("schema") or 1
+    print(f"{path}: trace container v{schema}")
+    if schema == 2:
+        manifest = sidecar.get("columns", {})
+        n_samples = next((int(s["n"]) for s in manifest.values()), 0)
+        print(f"  compression: {sidecar.get('compression', 'none')}")
+    else:
+        manifest = {}
+        n_samples = Trace.load(path).n_samples
+        print("  compression: deflate (npz)")
+    print(f"  samples:     {n_samples}")
+    print(f"  events:      {len(sidecar.get('events', []))}")
+    print(f"  objects:     {len(sidecar.get('objects', []))}")
+    print(f"  labels:      {len(sidecar.get('labels', []))}")
+    print(f"  callstacks:  {len(sidecar.get('callstacks', []))}")
+    stored = {info.filename: info for info in infos}
+    if manifest:
+        print(f"  {'column':<18} {'dtype':<6} {'bytes':>12} {'stored':>12}")
+        for name, spec in manifest.items():
+            info = stored.get(f"columns/{name}.bin")
+            print(f"  {name:<18} {spec['dtype']:<6} "
+                  f"{info.file_size if info else 0:>12} "
+                  f"{info.compress_size if info else 0:>12}")
+    else:
+        for info in infos:
+            print(f"  member {info.filename}: {info.file_size} bytes "
+                  f"({info.compress_size} stored)")
+
+
+def main_trace(argv: list[str] | None = None) -> int:
+    """``bsc-memtools-trace``: inspect/convert trace containers."""
+    p = argparse.ArgumentParser(
+        prog="bsc-memtools-trace",
+        description="Inspect a trace container or convert it between "
+        "schema versions and compression modes.",
+    )
+    sub = p.add_subparsers(dest="action", required=True)
+    p_info = sub.add_parser(
+        "info", help="show schema, compression and column stats"
+    )
+    p_info.add_argument("trace")
+    p_conv = sub.add_parser(
+        "convert", help="rewrite a trace in another container version"
+    )
+    p_conv.add_argument("trace")
+    p_conv.add_argument("-o", "--output", required=True)
+    p_conv.add_argument("--to-version", type=int,
+                        choices=list(TRACE_SCHEMA_VERSIONS), default=2)
+    p_conv.add_argument("--compression", choices=list(TRACE_COMPRESSIONS),
+                        default="none",
+                        help="v2 column compression (ignored for v1)")
+    p_conv.add_argument("--verify", action="store_true",
+                        help="reload the converted file and check the "
+                        "content digest is unchanged")
+    args = p.parse_args(argv)
+
+    if args.action == "info":
+        _trace_info(args.trace)
+        return 0
+    trace = Trace.load(args.trace)
+    out = trace.save(args.output, version=args.to_version,
+                     compression=args.compression)
+    print(f"wrote {out} (v{args.to_version}, {trace.n_samples} samples)")
+    if args.verify:
+        if Trace.load(out).digest() != trace.digest():
+            print("digest mismatch after conversion", file=sys.stderr)
+            return 1
+        print("digest verified")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Dispatcher for ``python -m repro.cli``."""
     commands = {
@@ -287,6 +375,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": main_report,
         "validate": main_validate,
         "cache": main_cache,
+        "trace": main_trace,
     }
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] not in commands:

@@ -1,0 +1,169 @@
+"""The v2 trace container: streaming column writes, lazy column reads.
+
+The v1 container (see :mod:`repro.extrae.trace`) stores the sample
+table as a ``samples.npz`` member inside a ``ZIP_DEFLATED`` zip — every
+save deflates the whole columnar table (npz inside zip, compressed
+twice) and every load inflates and materializes all of it, whether the
+reading pass touches one column or seventeen.
+
+The v2 container keeps the single-file zip shape but stores **one raw
+binary member per column** (``columns/<name>.bin``, little-endian,
+C-contiguous) next to the JSON sidecar, with compression selectable
+per file:
+
+* ``"none"`` (the default) — columns are ``ZIP_STORED``.  Saving is a
+  straight ``write(memoryview)`` per column and loading can hand out
+  **zero-copy memory maps** over the file, so ``Trace.load`` +
+  touching one column costs one mmap, not a full inflate.
+* ``"deflate"`` — columns are ``ZIP_DEFLATED`` for archival traces;
+  each column inflates independently on first touch.
+
+The JSON sidecar (``trace.json``) carries ``"schema": 2`` plus a
+column manifest (name → dtype/length) so readers can validate and size
+columns without touching any column member.  :class:`ColumnReader`
+implements the lazy read side; :func:`write_columns` the write side.
+Container selection and backward compatibility with v1 files live in
+:meth:`repro.extrae.trace.Trace.load`.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "ColumnReader",
+    "TRACE_COMPRESSIONS",
+    "member_data_offset",
+    "write_columns",
+]
+
+#: Column compression modes of the v2 container.
+TRACE_COMPRESSIONS = ("none", "deflate")
+
+#: Zip member holding the JSON sidecar (shared with the v1 container).
+SIDECAR_MEMBER = "trace.json"
+
+#: Prefix of the per-column binary members.
+COLUMN_PREFIX = "columns/"
+
+
+def _column_member(name: str) -> str:
+    return f"{COLUMN_PREFIX}{name}.bin"
+
+
+def member_data_offset(path: str | Path, info: zipfile.ZipInfo) -> int:
+    """Byte offset of a zip member's raw data inside the file.
+
+    Reads the member's *local* file header (its name/extra lengths may
+    differ from the central directory's), so the returned offset is
+    exact — the foundation of the zero-copy mmap read path for
+    ``ZIP_STORED`` columns.
+    """
+    with open(path, "rb") as f:
+        f.seek(info.header_offset)
+        header = f.read(30)
+    if len(header) != 30 or header[:4] != b"PK\x03\x04":
+        raise zipfile.BadZipFile(
+            f"{path}: bad local file header at {info.header_offset}"
+        )
+    name_len, extra_len = struct.unpack("<HH", header[26:30])
+    return info.header_offset + 30 + name_len + extra_len
+
+
+def write_columns(
+    zf: zipfile.ZipFile,
+    columns: dict[str, np.ndarray],
+    compression: str = "none",
+) -> dict[str, dict]:
+    """Stream *columns* into *zf* as raw binary members.
+
+    Each array is written C-contiguous and little-endian with a single
+    buffered write — no npz staging, no temporary copies beyond a
+    byte-order/contiguity fix-up where the input needs one.  Returns
+    the column manifest to embed in the sidecar.
+    """
+    if compression not in TRACE_COMPRESSIONS:
+        raise ValueError(
+            f"compression must be one of {TRACE_COMPRESSIONS}, "
+            f"got {compression!r}"
+        )
+    compress_type = (
+        zipfile.ZIP_DEFLATED if compression == "deflate" else zipfile.ZIP_STORED
+    )
+    manifest: dict[str, dict] = {}
+    for name, arr in columns.items():
+        arr = np.ascontiguousarray(arr)
+        if arr.dtype.byteorder == ">":  # pragma: no cover - big-endian host
+            arr = arr.astype(arr.dtype.newbyteorder("<"))
+        info = zipfile.ZipInfo(_column_member(name), date_time=(1980, 1, 1, 0, 0, 0))
+        info.compress_type = compress_type
+        info.file_size = arr.nbytes
+        with zf.open(info, "w", force_zip64=True) as f:
+            f.write(memoryview(arr).cast("B"))
+        manifest[name] = {"dtype": arr.dtype.str, "n": int(arr.size)}
+    return manifest
+
+
+class ColumnReader:
+    """Lazy column source over a v2 trace file.
+
+    ``load(name)`` materializes one column: a read-only ``np.memmap``
+    for ``ZIP_STORED`` members (zero-copy — the OS pages in only what
+    the pass touches) or an inflate-then-``frombuffer`` for
+    ``ZIP_DEFLATED`` members.  Nothing is read until asked for.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        with zipfile.ZipFile(self.path) as zf:
+            self.sidecar: dict = json.loads(zf.read(SIDECAR_MEMBER))
+            self._infos = {
+                info.filename: info
+                for info in zf.infolist()
+                if info.filename.startswith(COLUMN_PREFIX)
+            }
+        manifest = self.sidecar.get("columns")
+        if not isinstance(manifest, dict):
+            raise zipfile.BadZipFile(f"{self.path}: sidecar has no column manifest")
+        self.manifest = manifest
+        #: columns materialized so far (test hook and cache-reuse map)
+        self.loaded: dict[str, np.ndarray] = {}
+
+    @property
+    def n_samples(self) -> int:
+        sizes = {int(spec["n"]) for spec in self.manifest.values()}
+        if len(sizes) > 1:
+            raise zipfile.BadZipFile(f"{self.path}: inconsistent column lengths")
+        return sizes.pop() if sizes else 0
+
+    def columns(self) -> tuple[str, ...]:
+        return tuple(self.manifest)
+
+    def load(self, name: str) -> np.ndarray:
+        """Materialize one column (cached)."""
+        cached = self.loaded.get(name)
+        if cached is not None:
+            return cached
+        spec = self.manifest.get(name)
+        if spec is None:
+            raise KeyError(f"{self.path}: no column {name!r}")
+        member = _column_member(name)
+        info = self._infos.get(member)
+        if info is None:
+            raise zipfile.BadZipFile(f"{self.path}: missing member {member!r}")
+        dtype = np.dtype(spec["dtype"])
+        n = int(spec["n"])
+        if info.compress_type == zipfile.ZIP_STORED:
+            offset = member_data_offset(self.path, info)
+            arr = np.memmap(self.path, dtype=dtype, mode="r", offset=offset, shape=(n,))
+        else:
+            with zipfile.ZipFile(self.path) as zf:
+                raw = zf.read(member)
+            arr = np.frombuffer(raw, dtype=dtype, count=n)
+        self.loaded[name] = arr
+        return arr

@@ -4,18 +4,33 @@ A trace holds three kinds of data:
 
 * **punctual events** — region enters/exits, iteration markers,
   allocation/group events (:class:`~repro.extrae.events.TraceEvent`);
-* **sample blocks** — PEBS records with interpolated counters, stored
-  as NumPy arrays and consolidated on demand into a columnar
-  :class:`SampleTable`;
+* **sample blocks** — PEBS records with interpolated counters, appended
+  into chunked columnar buffers and consolidated on demand into a
+  time-sorted :class:`SampleTable`;
 * **object records** — the data objects discovered by allocation
   interception, wrapping and the static scan.
 
-Serialization uses ``.npz`` for the columnar samples plus a JSON
-sidecar for events/objects/metadata — no pickling, so traces are safe
-to exchange.  The sidecar carries an explicit ``"schema"`` version
-(:data:`TRACE_SCHEMA_VERSION`); :meth:`Trace.load` refuses unknown
-versions with :class:`TraceSchemaError` and accepts version-less
-legacy files with a warning.
+Recording is the acquisition hot path, so it never touches Python-level
+per-sample state: :meth:`Trace.add_samples` copies each block's columns
+into a growable preallocated buffer (amortized O(1) per sample), and
+consolidation merges the already-sorted prefix with the newly appended
+chunk incrementally — a fast in-place append when the chunk starts
+after the consolidated samples end (the overwhelmingly common case,
+since batches are emitted in time order), a single stable two-run merge
+otherwise.  Both paths are bit-identical to the historical global
+``concatenate`` + stable ``argsort``.  ``n_samples``/``duration_ns``
+and repeated ``digest()`` calls never force a rebuild.
+
+Serialization is schema-versioned via the ``"schema"`` field of the
+JSON sidecar.  :meth:`Trace.save` writes the **v2 container** by
+default — raw little-endian column members with selectable compression
+(``"none"``/``"deflate"``, see :mod:`repro.extrae.storage`) — and still
+writes the legacy npz-based **v1 container** on request.
+:meth:`Trace.load` reads both: v1 eagerly, v2 lazily (columns
+materialize on first touch, memory-mapped when uncompressed).
+Version-less legacy files load as v1 with a warning; unknown versions
+raise :class:`TraceSchemaError`.  No pickling on disk, so traces are
+safe to exchange.
 """
 
 from __future__ import annotations
@@ -31,7 +46,14 @@ from typing import Iterable
 import numpy as np
 
 from repro.extrae.events import EventKind, TraceEvent
+from repro.extrae.index import TraceIndex
 from repro.extrae.memalloc import ObjectRecord
+from repro.extrae.storage import (
+    SIDECAR_MEMBER,
+    TRACE_COMPRESSIONS,
+    ColumnReader,
+    write_columns,
+)
 from repro.simproc.machine import SAMPLE_COUNTERS, SampleBlock
 from repro.vmem.callstack import CallStack, Frame
 
@@ -41,13 +63,15 @@ __all__ = [
     "Trace",
     "TraceSchemaError",
     "TRACE_SCHEMA_VERSION",
+    "TRACE_SCHEMA_VERSIONS",
 ]
 
-#: Version of the on-disk trace layout (the ``"schema"`` field of the
-#: JSON sidecar).  Bump when the sidecar shape or the sample-column set
-#: changes incompatibly; :meth:`Trace.load` rejects files written with
-#: a version it does not know.
-TRACE_SCHEMA_VERSION = 1
+#: Version of the on-disk trace layout this build *writes* by default
+#: (the ``"schema"`` field of the JSON sidecar).
+TRACE_SCHEMA_VERSION = 2
+
+#: Versions :meth:`Trace.load` accepts.
+TRACE_SCHEMA_VERSIONS = (1, 2)
 
 #: Tolerance (ns) for the append-time monotonicity check of punctual
 #: events.  Machine time is exactly nondecreasing — there is no float
@@ -111,7 +135,7 @@ class SampleTable:
 
     def select(self, mask: np.ndarray) -> "SampleTable":
         """Subset by boolean mask or index array."""
-        return SampleTable({k: v[mask] for k, v in self._columns.items()})
+        return SampleTable({k: v[mask] for k, v in self.columns().items()})
 
     def columns(self) -> dict[str, np.ndarray]:
         return dict(self._columns)
@@ -119,6 +143,98 @@ class SampleTable:
     @classmethod
     def empty(cls) -> "SampleTable":
         return cls({k: np.empty(0, dtype=dt) for k, dt in _SAMPLE_COLUMNS.items()})
+
+
+class _LazySampleTable(SampleTable):
+    """Sample table backed by a v2 container: columns load on demand.
+
+    Each column materializes (memory-mapped when the file stores it
+    uncompressed) the first time a pass touches it; untouched columns
+    never leave the file.  Read-only — mutate via :meth:`materialize`.
+    """
+
+    def __init__(self, reader: ColumnReader) -> None:
+        self._reader = reader
+        self._n = reader.n_samples
+
+    def __getattr__(self, name: str) -> np.ndarray:
+        if name not in _SAMPLE_COLUMNS or self.__dict__.get("_reader") is None:
+            raise AttributeError(name)
+        return self.column(name)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def column(self, name: str) -> np.ndarray:
+        arr = self._reader.load(name)
+        dtype = _SAMPLE_COLUMNS[name]
+        if arr.dtype != dtype:
+            arr = arr.astype(dtype)
+            self._reader.loaded[name] = arr
+        return arr
+
+    def columns(self) -> dict[str, np.ndarray]:
+        return {name: self.column(name) for name in _SAMPLE_COLUMNS}
+
+    def materialize(self) -> SampleTable:
+        """An in-memory copy, decoupled from the backing file."""
+        return SampleTable(
+            {name: np.array(self.column(name)) for name in _SAMPLE_COLUMNS}
+        )
+
+
+class _ChunkBuffer:
+    """Growable columnar sample buffer (amortized O(1) append).
+
+    One preallocated array per sample column, doubled on overflow —
+    appending a block is seventeen slice assignments, never a list of
+    Python objects or a per-save reconcatenation.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self._n = 0
+        self._cap = int(capacity)
+        self._cols = {
+            name: np.empty(self._cap, dtype=dt)
+            for name, dt in _SAMPLE_COLUMNS.items()
+        }
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _grow_to(self, need: int) -> None:
+        if need <= self._cap:
+            return
+        cap = max(self._cap * 2, need)
+        for name, arr in self._cols.items():
+            grown = np.empty(cap, dtype=arr.dtype)
+            grown[: self._n] = arr[: self._n]
+            self._cols[name] = grown
+        self._cap = cap
+
+    def append(self, n: int, columns: dict) -> None:
+        """Append *n* rows; column values may be arrays or scalars."""
+        self._grow_to(self._n + n)
+        end = self._n + n
+        for name, value in columns.items():
+            self._cols[name][self._n : end] = value
+        self._n = end
+
+    def adopt(self, columns: dict[str, np.ndarray], n: int) -> None:
+        """Replace the contents with already-built full columns."""
+        self._cols = columns
+        self._n = n
+        self._cap = n
+
+    def clear(self) -> None:
+        self._n = 0
+
+    def last_time_ns(self) -> float:
+        return float(self._cols["time_ns"][self._n - 1])
+
+    def view(self) -> dict[str, np.ndarray]:
+        """Zero-copy views of the filled prefix of every column."""
+        return {name: arr[: self._n] for name, arr in self._cols.items()}
 
 
 @dataclass
@@ -134,9 +250,16 @@ class Trace:
         self._callstack_ids: dict[CallStack, int] = {}
         self._labels: list[str] = []
         self._label_ids: dict[str, int] = {}
-        self._blocks: list[tuple[SampleBlock, int]] = []  # (block, callstack id)
+        # Recording state: _buf holds the consolidated (time-sorted)
+        # prefix, _pending the appended-but-unmerged chunk.  Both are
+        # None for traces adopting an external table (load/from_parts)
+        # until an append re-seeds them.
+        self._buf: _ChunkBuffer | None = _ChunkBuffer()
+        self._pending: _ChunkBuffer | None = _ChunkBuffer()
         self._table: SampleTable | None = None
         self._digest: str | None = None
+        self._index: TraceIndex | None = None
+        self._max_time_ns: float | None = None  # running sample-time max
 
     # -- intern tables ----------------------------------------------------
     def callstack_id(self, stack: CallStack) -> int:
@@ -182,30 +305,83 @@ class Trace:
             )
         self.events.append(event)
         self._digest = None
+        self._index = None
 
     def add_samples(self, block: SampleBlock, callstack: CallStack) -> None:
-        """Attach a sample block taken under *callstack*."""
-        self._blocks.append((block, self.callstack_id(callstack)))
-        self._table = None
+        """Attach a sample block taken under *callstack*.
+
+        The block's columns are copied straight into the chunked append
+        buffer — the block object itself is not retained.
+        """
+        cs_id = self.callstack_id(callstack)
+        lbl_id = self.label_id(block.label)
         self._digest = None
+        self._index = None
+        n = block.n
+        if n == 0:
+            return
+        if self._pending is None:
+            self._seed_buffers_from_table()
+        times = np.asarray(block.times_ns, dtype=np.float64)
+        columns = {
+            "time_ns": times,
+            "address": block.addresses,
+            "op": np.int8(block.op),
+            "source": block.sources,
+            "latency": block.latencies,
+            "callstack_id": np.int32(cs_id),
+            "label_id": np.int32(lbl_id),
+        }
+        for name in SAMPLE_COUNTERS:
+            columns[name] = block.counters[name]
+        self._pending.append(n, columns)
+        self._table = None
+        m = float(times.max())
+        if self._max_time_ns is None or m > self._max_time_ns:
+            self._max_time_ns = m
 
     def add_object(self, record: ObjectRecord) -> None:
         self.objects.append(record)
         self._digest = None
+        self._index = None
+
+    def _seed_buffers_from_table(self) -> None:
+        """Re-enter recording mode on a trace built from external parts."""
+        table = self._table if self._table is not None else SampleTable.empty()
+        if isinstance(table, _LazySampleTable):
+            table = table.materialize()
+        buf = _ChunkBuffer(capacity=max(len(table), 1))
+        buf.adopt(
+            {
+                name: np.ascontiguousarray(
+                    table.column(name), dtype=_SAMPLE_COLUMNS[name]
+                )
+                for name in _SAMPLE_COLUMNS
+            },
+            len(table),
+        )
+        self._buf = buf
+        self._pending = _ChunkBuffer()
+        if len(table):
+            self._max_time_ns = float(np.max(table.time_ns))
 
     # -- pickling -----------------------------------------------------------
     def __getstate__(self) -> dict:
-        """Pickle the consolidated columnar form, not the raw blocks.
+        """Pickle the consolidated columnar form, not the buffers.
 
-        The per-batch :class:`SampleBlock` list exists only as a
-        recording buffer; shipping it (RankSet workers, the folded-
-        report cache) would roughly double the payload in thousands of
-        small objects.  The pickled trace is finalized-equivalent: its
-        samples live in the consolidated table.
+        The append buffers exist only for recording (shipping their
+        slack capacity would bloat the payload), and lazy tables
+        reference an open file — so the pickled trace always carries a
+        plain, materialized, consolidated :class:`SampleTable`.
         """
         state = self.__dict__.copy()
-        state["_table"] = self.sample_table()
-        state["_blocks"] = []
+        table = self.sample_table()
+        if isinstance(table, _LazySampleTable):
+            table = table.materialize()
+        state["_table"] = table
+        state["_buf"] = None
+        state["_pending"] = None
+        state["_index"] = None
         return state
 
     # -- content addressing -------------------------------------------------
@@ -215,8 +391,10 @@ class Trace:
         Hashes the consolidated sample columns plus the JSON sidecar
         parts (metadata, events, objects, intern tables) — exactly the
         information :meth:`save` persists, so a save/load round-trip
-        keeps the digest.  Two traces with equal digests fold
-        identically; the report cache
+        keeps the digest.  The v1-shaped sidecar is hashed regardless
+        of which container version the trace is saved to, keeping the
+        digest a property of the *content*, not the encoding.  Two
+        traces with equal digests fold identically; the report cache
         (:class:`repro.folding.cache.FoldCache`) uses this as its
         content address.  Cached until the next mutating ``add_*``.
         """
@@ -226,7 +404,7 @@ class Trace:
         # which the sidecar must already reflect when it is hashed.
         table = self.sample_table()
         h = hashlib.sha256()
-        h.update(json.dumps(self._sidecar(), sort_keys=True).encode())
+        h.update(json.dumps(self._sidecar(schema=1), sort_keys=True).encode())
         for name in sorted(_SAMPLE_COLUMNS):
             col = np.ascontiguousarray(table.column(name))
             h.update(name.encode())
@@ -237,37 +415,70 @@ class Trace:
     # -- consolidated views ----------------------------------------------------
     @property
     def n_samples(self) -> int:
-        if not self._blocks and self._table is not None:
-            return len(self._table)
-        return sum(b.n for b, _ in self._blocks)
+        if self._buf is not None:
+            return len(self._buf) + len(self._pending)
+        return len(self._table) if self._table is not None else 0
+
+    def _consolidate(self) -> None:
+        """Merge the pending chunk into the sorted prefix.
+
+        The pending chunk is stable-sorted on its own, then either
+        appended in place (when it starts at or after the prefix's last
+        timestamp — the common case, since batches are emitted in time
+        order) or merged with the prefix in one stable two-run pass.
+        Both are bit-identical to re-sorting everything globally with a
+        stable sort, because every prefix sample was appended before
+        every pending sample and therefore wins ties.
+        """
+        pending = self._pending
+        if pending is None or len(pending) == 0:
+            return
+        chunk = pending.view()
+        order = np.argsort(chunk["time_ns"], kind="stable")
+        chunk = {name: col[order] for name, col in chunk.items()}
+        buf = self._buf
+        if len(buf) == 0 or chunk["time_ns"][0] >= buf.last_time_ns():
+            buf.append(order.size, chunk)
+        else:
+            held = buf.view()
+            t_held, t_chunk = held["time_ns"], chunk["time_ns"]
+            n_held, n_chunk = t_held.size, t_chunk.size
+            # Stable two-run merge via searchsorted: prefix rows win
+            # ties (side="left"/"right"), matching a global stable sort.
+            pos_held = np.arange(n_held) + np.searchsorted(t_chunk, t_held, "left")
+            pos_chunk = np.arange(n_chunk) + np.searchsorted(t_held, t_chunk, "right")
+            merged: dict[str, np.ndarray] = {}
+            for name, dt in _SAMPLE_COLUMNS.items():
+                out = np.empty(n_held + n_chunk, dtype=dt)
+                out[pos_held] = held[name]
+                out[pos_chunk] = chunk[name]
+                merged[name] = out
+            buf.adopt(merged, n_held + n_chunk)
+        pending.clear()
+        self._table = None
 
     def sample_table(self) -> SampleTable:
         """All samples as one time-sorted columnar table (cached)."""
-        if self._table is not None:
-            return self._table
-        if not self._blocks:
-            self._table = SampleTable.empty()
-            return self._table
-        cols: dict[str, list[np.ndarray]] = {k: [] for k in _SAMPLE_COLUMNS}
-        for block, cs_id in self._blocks:
-            n = block.n
-            cols["time_ns"].append(block.times_ns)
-            cols["address"].append(block.addresses)
-            cols["op"].append(np.full(n, int(block.op), dtype=np.int8))
-            cols["source"].append(block.sources.astype(np.int8))
-            cols["latency"].append(block.latencies.astype(np.float32))
-            cols["callstack_id"].append(np.full(n, cs_id, dtype=np.int32))
-            cols["label_id"].append(
-                np.full(n, self.label_id(block.label), dtype=np.int32)
+        if self._pending is not None and len(self._pending):
+            self._consolidate()
+        if self._table is None:
+            self._table = (
+                SampleTable(self._buf.view())
+                if self._buf is not None
+                else SampleTable.empty()
             )
-            for name in SAMPLE_COUNTERS:
-                cols[name].append(block.counters[name])
-        merged = {
-            k: np.concatenate(v).astype(_SAMPLE_COLUMNS[k]) for k, v in cols.items()
-        }
-        order = np.argsort(merged["time_ns"], kind="stable")
-        self._table = SampleTable({k: v[order] for k, v in merged.items()})
         return self._table
+
+    # -- indexed queries ----------------------------------------------------
+    def index(self) -> TraceIndex:
+        """Prebuilt event/sample indexes over this trace (cached).
+
+        Invalidated by any mutating ``add_*``; see
+        :class:`repro.extrae.index.TraceIndex`.
+        """
+        if self._index is None:
+            self._index = TraceIndex(self)
+        return self._index
 
     # -- event queries ------------------------------------------------------------
     def region_intervals(self, name: str) -> list[tuple[float, float]]:
@@ -276,44 +487,37 @@ class Trace:
         Handles recursion by matching each exit with the most recent
         unmatched enter of the same name.
         """
-        stack: list[float] = []
-        out: list[tuple[float, float]] = []
-        for ev in self.events:
-            if ev.name != name:
-                continue
-            if ev.kind == EventKind.REGION_ENTER:
-                stack.append(ev.time_ns)
-            elif ev.kind == EventKind.REGION_EXIT:
-                if not stack:
-                    raise ValueError(f"unmatched exit of region {name!r} at {ev.time_ns}")
-                out.append((stack.pop(), ev.time_ns))
-        if stack:
-            raise ValueError(f"unmatched enter of region {name!r}")
-        out.sort()
-        return out
+        return self.index().events.region_intervals(name)
 
     def iteration_times(self, name: str = "") -> list[float]:
         """Timestamps of ITERATION markers (optionally filtered by name)."""
-        return [
-            ev.time_ns
-            for ev in self.events
-            if ev.kind == EventKind.ITERATION and (not name or ev.name == name)
-        ]
+        return self.index().events.iteration_times(name)
 
     def duration_ns(self) -> float:
         t = []
         if self.events:
             t.append(self.events[-1].time_ns)
         if self.n_samples:
-            t.append(float(self.sample_table().time_ns.max()))
+            t.append(self._sample_max_ns())
         return max(t) if t else 0.0
 
+    def _sample_max_ns(self) -> float:
+        """Latest sample timestamp, without forcing consolidation.
+
+        Recording traces track the running max at append time; traces
+        adopting an external table read just the ``time_ns`` column
+        (one column touch on a lazy table, never a full rebuild).
+        """
+        if self._max_time_ns is None:
+            self._max_time_ns = float(np.max(self._table.time_ns))
+        return self._max_time_ns
+
     # -- serialization ------------------------------------------------------------
-    def _sidecar(self) -> dict:
-        """The JSON sidecar :meth:`save` writes (also hashed by
-        :meth:`digest`)."""
+    def _sidecar(self, schema: int = TRACE_SCHEMA_VERSION) -> dict:
+        """The JSON sidecar :meth:`save` writes (also hashed, in its
+        v1 shape, by :meth:`digest`)."""
         return {
-            "schema": TRACE_SCHEMA_VERSION,
+            "schema": schema,
             "metadata": self.metadata,
             "labels": self._labels,
             "callstacks": [
@@ -348,14 +552,50 @@ class Trace:
             ],
         }
 
-    def save(self, path: str | Path) -> Path:
-        """Write the trace as ``<path>`` (a zip holding npz + json)."""
+    def save(
+        self,
+        path: str | Path,
+        *,
+        version: int = TRACE_SCHEMA_VERSION,
+        compression: str = "none",
+    ) -> Path:
+        """Write the trace as ``<path>`` (a single-file zip container).
+
+        ``version=2`` (the default) writes raw per-column binary
+        members with the selected *compression* (``"none"`` streams
+        ``ZIP_STORED`` columns that load back as zero-copy memory maps;
+        ``"deflate"`` trades save/load speed for size).  ``version=1``
+        writes the legacy npz-in-deflated-zip container, byte-layout
+        identical to what earlier builds produced; *compression* does
+        not apply to it.
+        """
         path = Path(path)
+        if version not in TRACE_SCHEMA_VERSIONS:
+            raise ValueError(
+                f"unknown trace schema version {version!r} "
+                f"(this build writes versions {TRACE_SCHEMA_VERSIONS})"
+            )
+        if compression not in TRACE_COMPRESSIONS:
+            raise ValueError(
+                f"compression must be one of {TRACE_COMPRESSIONS}, "
+                f"got {compression!r}"
+            )
         table = self.sample_table()
-        with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as zf:
-            with zf.open("samples.npz", "w") as f:
-                np.savez(f, **table.columns())
-            zf.writestr("trace.json", json.dumps(self._sidecar()))
+        if version == 1:
+            with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as zf:
+                with zf.open("samples.npz", "w") as f:
+                    np.savez(f, **table.columns())
+                zf.writestr(SIDECAR_MEMBER, json.dumps(self._sidecar(schema=1)))
+            return path
+        zip_compression = (
+            zipfile.ZIP_DEFLATED if compression == "deflate" else zipfile.ZIP_STORED
+        )
+        with zipfile.ZipFile(path, "w", zip_compression) as zf:
+            manifest = write_columns(zf, table.columns(), compression)
+            sidecar = self._sidecar(schema=2)
+            sidecar["columns"] = manifest
+            sidecar["compression"] = compression
+            zf.writestr(SIDECAR_MEMBER, json.dumps(sidecar))
         return path
 
     @classmethod
@@ -385,11 +625,18 @@ class Trace:
         trace.events.extend(events)
         trace.objects.extend(objects)
         trace._table = table if table is not None else SampleTable.empty()
+        trace._buf = None
+        trace._pending = None
         return trace
 
     @classmethod
     def load(cls, path: str | Path) -> "Trace":
-        """Read a trace written by :meth:`save`.
+        """Read a trace written by :meth:`save` (any known version).
+
+        v1 files materialize eagerly, exactly as before.  v2 files load
+        *lazily*: the events/objects/intern tables come from the
+        sidecar, but sample columns stay on disk until a pass touches
+        them (zero-copy memory maps when stored uncompressed).
 
         Raises :class:`TraceSchemaError` when the file declares a schema
         version this code does not know.  Files written before schema
@@ -398,27 +645,41 @@ class Trace:
         """
         path = Path(path)
         with zipfile.ZipFile(path) as zf:
-            sidecar = json.loads(zf.read("trace.json"))
-            with zf.open("samples.npz") as f:
-                npz = np.load(f)
-                columns = {k: npz[k] for k in npz.files}
+            sidecar = json.loads(zf.read(SIDECAR_MEMBER))
         schema = sidecar.get("schema")
         if schema is None:
             warnings.warn(
                 f"{path}: trace has no schema version (written before "
-                f"versioning); loading as schema {TRACE_SCHEMA_VERSION}",
+                f"versioning); loading as schema 1",
                 stacklevel=2,
             )
-        elif schema != TRACE_SCHEMA_VERSION:
+            schema = 1
+        elif schema not in TRACE_SCHEMA_VERSIONS:
             raise TraceSchemaError(
                 f"{path}: unknown trace schema version {schema!r} "
-                f"(this build reads version {TRACE_SCHEMA_VERSION})"
+                f"(this build reads versions {TRACE_SCHEMA_VERSIONS})"
             )
-        missing = set(_SAMPLE_COLUMNS) - set(columns)
-        if missing:
-            raise TraceSchemaError(
-                f"{path}: sample table missing columns {sorted(missing)}"
+        if schema == 1:
+            with zipfile.ZipFile(path) as zf:
+                with zf.open("samples.npz") as f:
+                    npz = np.load(f)
+                    columns = {k: npz[k] for k in npz.files}
+            missing = set(_SAMPLE_COLUMNS) - set(columns)
+            if missing:
+                raise TraceSchemaError(
+                    f"{path}: sample table missing columns {sorted(missing)}"
+                )
+            table: SampleTable = SampleTable(
+                {k: columns[k].astype(dt) for k, dt in _SAMPLE_COLUMNS.items()}
             )
+        else:
+            reader = ColumnReader(path)
+            missing = set(_SAMPLE_COLUMNS) - set(reader.columns())
+            if missing:
+                raise TraceSchemaError(
+                    f"{path}: sample table missing columns {sorted(missing)}"
+                )
+            table = _LazySampleTable(reader)
         return cls.from_parts(
             metadata=sidecar["metadata"],
             callstacks=[
@@ -449,9 +710,7 @@ class Trace:
                 )
                 for o in sidecar["objects"]
             ],
-            table=SampleTable(
-                {k: columns[k].astype(dt) for k, dt in _SAMPLE_COLUMNS.items()}
-            ),
+            table=table,
         )
 
     def __len__(self) -> int:

@@ -91,11 +91,7 @@ def instances_from_iterations(
     times = trace.iteration_times(name)
     if len(times) < 1:
         raise ValueError(f"trace has no iteration markers{f' named {name!r}' if name else ''}")
-    end = None
-    for ev in trace.events:
-        if ev.name == end_marker:
-            end = ev.time_ns
-            break
+    end = trace.index().events.first_time_named(end_marker)
     if end is None:
         end = trace.duration_ns()
     edges = times + [end]

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.extrae.index import group_rows
 from repro.extrae.memalloc import ObjectRecord
 from repro.extrae.trace import Trace
 from repro.memsim.datasource import DataSource
@@ -61,10 +62,17 @@ class ResolutionReport:
         return 1.0 - self.matched_fraction if self.n_samples else 0.0
 
     def usage_for(self, name: str) -> ObjectUsage:
-        for usage in self.usages:
-            if usage.record.name == name:
-                return usage
-        raise KeyError(f"no sampled object named {name!r}")
+        by_name = self.__dict__.get("_by_name")
+        if by_name is None:
+            # First occurrence wins, like the linear scan this replaces.
+            by_name = {}
+            for usage in self.usages:
+                by_name.setdefault(usage.record.name, usage)
+            self._by_name = by_name
+        try:
+            return by_name[name]
+        except KeyError:
+            raise KeyError(f"no sampled object named {name!r}") from None
 
     def to_table(self, top: int = 15) -> str:
         """The paper-style object table: name, size, traffic split."""
@@ -108,22 +116,48 @@ def resolve_trace(
     table = trace.sample_table()
     idx = registry.resolve_bulk(table.address)
     matched = idx >= 0
+    n_matched = int(np.count_nonzero(matched))
 
+    # All integer aggregates come from single bincount passes over the
+    # whole table (idx shifted by one so -1/unmatched lands in bin 0,
+    # sliced off).  The op and source splits fold into the same scheme:
+    # op via two masked bincounts, source via one bincount over the
+    # combined (record, source) key.
+    n_records = len(registry.records)
+    idx1 = idx.astype(np.int64) + 1
+    n_per_record = np.bincount(idx1, minlength=n_records + 1)[1:]
+    load_counts = np.bincount(
+        idx1[table.op == int(MemOp.LOAD)], minlength=n_records + 1
+    )[1:]
+    store_counts = np.bincount(
+        idx1[table.op == int(MemOp.STORE)], minlength=n_records + 1
+    )[1:]
+    source = table.source.astype(np.int64)
+    n_sources = int(source.max()) + 1 if source.size else 1
+    source_counts = np.bincount(
+        idx1 * n_sources + source, minlength=(n_records + 1) * n_sources
+    ).reshape(n_records + 1, n_sources)[1:]
+
+    # Latency means use the grouped row indices (ascending within each
+    # record, exactly the rows the old boolean mask selected) so the
+    # float reduction visits the same elements in the same order.
+    latency = table.latency
     usages: list[ObjectUsage] = []
-    for rec_i in np.unique(idx[matched]):
-        mask = idx == rec_i
-        ops = table.op[mask]
-        lats = table.latency[mask]
-        sources = table.source[mask]
-        counts: dict[DataSource, int] = {}
-        for code in np.unique(sources):
-            counts[DataSource(int(code))] = int((sources == code).sum())
+    for rec_i, rows in zip(*group_rows(idx)):
+        if rec_i < 0:
+            continue
+        rec_i = int(rec_i)
+        counts: dict[DataSource, int] = {
+            DataSource(code): int(source_counts[rec_i, code])
+            for code in np.nonzero(source_counts[rec_i])[0]
+        }
+        lats = latency[rows]
         usages.append(
             ObjectUsage(
-                record=registry.records[int(rec_i)],
-                n_samples=int(mask.sum()),
-                n_loads=int((ops == int(MemOp.LOAD)).sum()),
-                n_stores=int((ops == int(MemOp.STORE)).sum()),
+                record=registry.records[rec_i],
+                n_samples=int(n_per_record[rec_i]),
+                n_loads=int(load_counts[rec_i]),
+                n_stores=int(store_counts[rec_i]),
                 mean_latency=float(lats.mean()) if lats.size else 0.0,
                 source_counts=counts,
             )
@@ -131,7 +165,7 @@ def resolve_trace(
     usages.sort(key=lambda u: u.n_samples, reverse=True)
     return ResolutionReport(
         n_samples=table.n,
-        n_matched=int(matched.sum()),
+        n_matched=n_matched,
         usages=usages,
         object_index=idx,
     )

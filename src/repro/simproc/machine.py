@@ -233,38 +233,61 @@ class Machine:
         )
 
         # --- build, filter and attach sample blocks ----------------------
+        # Keep-masks are fused *before* any per-sample payload is built:
+        # addresses and interpolated counters are only computed for the
+        # samples that survive multiplexing and the latency threshold.
+        # Bit-identical to filtering afterwards — addresses_at and the
+        # counter interpolation are elementwise.
+        before_vec = np.array(
+            [getattr(before, name) for name in SAMPLE_COUNTERS], dtype=np.float64
+        )
+        delta_vec = np.array(
+            [getattr(delta, name) for name in SAMPLE_COUNTERS], dtype=np.float64
+        )
+        span = t1 - t0
         for pattern, offsets, result in pattern_runs:
             if offsets.size == 0:
                 continue
             frac = (offsets.astype(np.float64) + 0.5) / max(pattern.count, 1)
-            times = t0 + frac * (t1 - t0)
-            counters = {
-                name: getattr(before, name) + getattr(delta, name) * frac
-                for name in SAMPLE_COUNTERS
-            }
+            times = t0 + frac * span
+            sources = result.sample_sources
+            latencies = result.sample_latencies
+            keep = None
+            if self.multiplex is not None:
+                active = self.multiplex.active_mask(pattern.op, times)
+                self.samples_dropped_mpx += int(
+                    active.size - np.count_nonzero(active)
+                )
+                keep = active
+            if self.pebs is not None:
+                passed = self.pebs.latency_filter(pattern.op, latencies)
+                dropped = ~passed if keep is None else keep & ~passed
+                self.samples_dropped_latency += int(np.count_nonzero(dropped))
+                keep = passed if keep is None else keep & passed
+            if keep is not None and not keep.all():
+                offsets = offsets[keep]
+                if offsets.size == 0:
+                    continue
+                frac = frac[keep]
+                times = times[keep]
+                sources = sources[keep]
+                latencies = latencies[keep]
+            # All nine counters interpolate in one 2-D broadcast; each
+            # row of the C-ordered result is one counter's column.
+            interp = before_vec[:, None] + delta_vec[:, None] * frac[None, :]
+            counters = {name: interp[i] for i, name in enumerate(SAMPLE_COUNTERS)}
             block = SampleBlock(
                 op=pattern.op,
                 label=batch.label,
                 offsets=offsets,
                 addresses=pattern.addresses_at(offsets),
-                sources=result.sample_sources,
-                latencies=result.sample_latencies,
+                sources=sources,
+                latencies=latencies,
                 times_ns=times,
                 counters=counters,
             )
-            keep = np.ones(block.n, dtype=bool)
-            if self.multiplex is not None:
-                active = self.multiplex.active_mask(pattern.op, times)
-                self.samples_dropped_mpx += int((~active).sum())
-                keep &= active
-            if self.pebs is not None:
-                passed = self.pebs.latency_filter(pattern.op, block.latencies)
-                self.samples_dropped_latency += int((keep & ~passed).sum())
-                keep &= passed
-            block = block.select(keep)
-            if block.n:
-                execution.samples.append(block)
-                self.samples_emitted += block.n
+            execution.samples.append(block)
+            self.samples_emitted += block.n
 
         if self.noise is not None:
             stall = self.noise.stall_after(execution.duration_ns, self._noise_rng)

@@ -101,14 +101,40 @@ class PebsSampler:
         cfg = self.configs.get(op)
         if cfg is None or n_ops <= 0:
             return np.empty(0, dtype=np.int64)
-        offsets: list[int] = []
-        pos = self._countdown[op]
+        # Vectorized emission, bit-identical to the scalar loop
+        #   while pos < n_ops: emit(int(pos)); pos += gap()
+        # Each round draws a *conservative* count of gaps — small enough
+        # that every resulting position is guaranteed below n_ops, so the
+        # scalar loop would have drawn exactly the same gaps from the
+        # stream (array uniform(lo, hi, k) consumes the stream like k
+        # scalar draws).  cumsum with the current position prepended
+        # reproduces the sequential float accumulation exactly; a scalar
+        # tail handles the last few positions near the boundary.
+        lo = cfg.period * (1.0 - cfg.randomization)
+        hi = cfg.period * (1.0 + cfg.randomization)
+        parts: list[np.ndarray] = []
+        n_taken = 0
+        pos = float(self._countdown[op])
         while pos < n_ops:
-            offsets.append(int(pos))
-            pos += self._gap(cfg)
+            est = int((n_ops - pos) / hi) - 1
+            if est <= 0:
+                parts.append(np.array([int(pos)], dtype=np.int64))
+                n_taken += 1
+                pos += self._gap(cfg)
+                continue
+            if cfg.randomization == 0.0:
+                gaps = np.full(est, float(cfg.period))
+            else:
+                gaps = self._rng.uniform(lo, hi, size=est)
+            positions = np.cumsum(np.concatenate(([pos], gaps)))
+            parts.append(positions.astype(np.int64))
+            n_taken += positions.size
+            pos = float(positions[-1]) + self._gap(cfg)
         self._countdown[op] = pos - n_ops
-        self.samples_taken[op] += len(offsets)
-        return np.asarray(offsets, dtype=np.int64)
+        self.samples_taken[op] += n_taken
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
 
     def latency_filter(self, op: MemOp, latencies: np.ndarray) -> np.ndarray:
         """Boolean mask of samples passing *op*'s latency threshold."""

@@ -34,7 +34,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.extrae.events import EventKind
 from repro.extrae.trace import EVENT_TIME_EPSILON_NS, Trace
 from repro.memsim.datasource import DataSource
 from repro.memsim.hierarchy import HierarchyConfig
@@ -176,14 +175,12 @@ def _check_sample_times(trace: Trace, out: _Collector) -> None:
 
 def _check_regions(trace: Trace, out: _Collector) -> None:
     out.ran("regions")
-    names = {
-        ev.name
-        for ev in trace.events
-        if ev.kind in (EventKind.REGION_ENTER, EventKind.REGION_EXIT)
-    }
-    for name in sorted(names):
+    # The event index already grouped enter/exit events by name in one
+    # pass; interval matching per name runs on each name's own stream.
+    events = trace.index().events
+    for name in events.region_names:
         try:
-            trace.region_intervals(name)
+            events.region_intervals(name)
         except ValueError as exc:
             out.error("regions", str(exc))
 

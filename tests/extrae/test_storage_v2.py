@@ -1,0 +1,160 @@
+"""v2 trace container: round-trips, lazy columns, compat with v1 files."""
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.extrae.storage import ColumnReader, member_data_offset
+from repro.extrae.trace import (
+    _SAMPLE_COLUMNS,
+    Trace,
+    TraceSchemaError,
+    _LazySampleTable,
+)
+
+from tests.extrae.test_trace_fastpath import run_trace
+
+GOLDEN = "tests/golden"
+
+
+@pytest.fixture(scope="module")
+def traced():
+    return run_trace("vectorized", "stream")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "version, compression",
+        [(2, "none"), (2, "deflate"), (1, "none")],
+    )
+    def test_digest_and_columns_preserved(
+        self, traced, tmp_path, version, compression
+    ):
+        path = tmp_path / f"t_v{version}_{compression}.bsctrace"
+        traced.save(path, version=version, compression=compression)
+        loaded = Trace.load(path)
+        assert loaded.digest() == traced.digest()
+        want = traced.sample_table()
+        got = loaded.sample_table()
+        for name in _SAMPLE_COLUMNS:
+            col = got.column(name)
+            assert col.dtype == np.dtype(_SAMPLE_COLUMNS[name])
+            np.testing.assert_array_equal(col, want.column(name))
+        assert loaded.n_samples == traced.n_samples
+        assert loaded.labels == traced.labels
+        assert len(loaded.events) == len(traced.events)
+
+    def test_v1_to_v2_to_v1_is_stable(self, traced, tmp_path):
+        digest = traced.digest()
+        p1, p2, p1b = (tmp_path / n for n in ("a.bsctrace", "b.bsctrace", "c.bsctrace"))
+        traced.save(p1, version=1)
+        t1 = Trace.load(p1)
+        t1.save(p2, version=2, compression="deflate")
+        t2 = Trace.load(p2)
+        t2.save(p1b, version=1)
+        assert Trace.load(p1b).digest() == digest
+
+    def test_invalid_version_and_compression(self, traced, tmp_path):
+        with pytest.raises(ValueError, match="version"):
+            traced.save(tmp_path / "x.bsctrace", version=3)
+        with pytest.raises(ValueError, match="compression"):
+            traced.save(tmp_path / "x.bsctrace", compression="lz4")
+
+
+class TestLazyLoading:
+    def test_only_touched_columns_load(self, traced, tmp_path):
+        path = tmp_path / "lazy.bsctrace"
+        traced.save(path, version=2, compression="none")
+        table = Trace.load(path).sample_table()
+        assert isinstance(table, _LazySampleTable)
+        assert table._reader.loaded == {}
+        t = table.time_ns
+        assert set(table._reader.loaded) == {"time_ns"}
+        assert t.size == traced.n_samples
+
+    def test_uncompressed_columns_are_memmapped(self, traced, tmp_path):
+        path = tmp_path / "mm.bsctrace"
+        traced.save(path, version=2, compression="none")
+        table = Trace.load(path).sample_table()
+        assert isinstance(table.column("address"), np.memmap)
+        np.testing.assert_array_equal(
+            table.column("address"), traced.sample_table().address
+        )
+
+    def test_deflate_columns_are_plain_arrays(self, traced, tmp_path):
+        path = tmp_path / "defl.bsctrace"
+        traced.save(path, version=2, compression="deflate")
+        table = Trace.load(path).sample_table()
+        col = table.column("latency")
+        assert not isinstance(col, np.memmap)
+        np.testing.assert_array_equal(col, traced.sample_table().latency)
+
+    def test_member_offset_points_at_raw_data(self, traced, tmp_path):
+        path = tmp_path / "off.bsctrace"
+        traced.save(path, version=2, compression="none")
+        with zipfile.ZipFile(path) as zf:
+            info = zf.getinfo("columns/time_ns.bin")
+            offset = member_data_offset(path, info)
+        with open(path, "rb") as f:
+            f.seek(offset)
+            raw = np.frombuffer(f.read(info.file_size), dtype=np.float64)
+        np.testing.assert_array_equal(raw, traced.sample_table().time_ns)
+
+    def test_materialize_detaches_from_file(self, traced, tmp_path):
+        path = tmp_path / "mat.bsctrace"
+        traced.save(path, version=2, compression="none")
+        table = Trace.load(path).sample_table().materialize()
+        assert not isinstance(table, _LazySampleTable)
+        for name in _SAMPLE_COLUMNS:
+            assert not isinstance(table.column(name), np.memmap)
+            np.testing.assert_array_equal(
+                table.column(name), traced.sample_table().column(name)
+            )
+
+
+class TestMalformedV2:
+    def test_missing_column_rejected(self, traced, tmp_path):
+        src = tmp_path / "ok.bsctrace"
+        bad = tmp_path / "bad.bsctrace"
+        traced.save(src, version=2, compression="none")
+        with zipfile.ZipFile(src) as zin, zipfile.ZipFile(bad, "w") as zout:
+            for info in zin.infolist():
+                if info.filename == "columns/latency.bin":
+                    continue
+                data = zin.read(info.filename)
+                if info.filename == "trace.json":
+                    sidecar = json.loads(data)
+                    del sidecar["columns"]["latency"]
+                    data = json.dumps(sidecar).encode()
+                zout.writestr(info.filename, data)
+        with pytest.raises(TraceSchemaError, match="latency"):
+            Trace.load(bad).sample_table().column("latency")
+
+    def test_column_reader_validates_lengths(self, traced, tmp_path):
+        path = tmp_path / "len.bsctrace"
+        traced.save(path, version=2, compression="none")
+        reader = ColumnReader(path)
+        assert reader.n_samples == traced.n_samples
+        assert set(reader.columns()) == set(_SAMPLE_COLUMNS)
+
+
+class TestGoldenFixtures:
+    @pytest.mark.parametrize("engine", ["precise", "vectorized", "analytic"])
+    def test_committed_v1_traces_still_load(self, engine):
+        path = f"{GOLDEN}/stream_{engine}.bsctrace"
+        trace = Trace.load(path)
+        assert trace.n_samples > 0
+        table = trace.sample_table()
+        assert table.time_ns.size == trace.n_samples
+        # Re-saving a v1 fixture through the v2 container keeps the digest.
+        digest = trace.digest()
+        assert digest == Trace.load(path).digest()
+
+    def test_golden_v1_survives_v2_conversion(self, tmp_path):
+        src = f"{GOLDEN}/stream_precise.bsctrace"
+        trace = Trace.load(src)
+        out = tmp_path / "conv.bsctrace"
+        trace.save(out, version=2, compression="deflate")
+        assert Trace.load(out).digest() == trace.digest()

@@ -29,10 +29,17 @@ def rewrite_sidecar(src, dst, mutate):
     """Copy a trace file with its JSON sidecar transformed by *mutate*."""
     with zipfile.ZipFile(src) as zin:
         sidecar = json.loads(zin.read("trace.json"))
-        samples = zin.read("samples.npz")
+        members = {
+            info.filename: (zin.read(info.filename), info.compress_type)
+            for info in zin.infolist()
+            if info.filename != "trace.json"
+        }
     mutate(sidecar)
     with zipfile.ZipFile(dst, "w", zipfile.ZIP_DEFLATED) as zout:
-        zout.writestr("samples.npz", samples)
+        for name, (data, compress_type) in members.items():
+            info = zipfile.ZipInfo(name, date_time=(1980, 1, 1, 0, 0, 0))
+            info.compress_type = compress_type
+            zout.writestr(info, data)
         zout.writestr("trace.json", json.dumps(sidecar))
     return dst
 
@@ -42,20 +49,34 @@ def trace_path(tmp_path):
     return small_trace().save(tmp_path / "t.bsctrace")
 
 
+@pytest.fixture()
+def v1_trace_path(tmp_path):
+    return small_trace().save(tmp_path / "t1.bsctrace", version=1)
+
+
 class TestSchemaVersion:
     def test_save_writes_schema_field(self, trace_path):
         with zipfile.ZipFile(trace_path) as zf:
             sidecar = json.loads(zf.read("trace.json"))
-        assert sidecar["schema"] == TRACE_SCHEMA_VERSION == 1
+        assert sidecar["schema"] == TRACE_SCHEMA_VERSION == 2
+
+    def test_v1_save_writes_schema_1(self, v1_trace_path):
+        with zipfile.ZipFile(v1_trace_path) as zf:
+            sidecar = json.loads(zf.read("trace.json"))
+        assert sidecar["schema"] == 1
 
     def test_current_version_loads_silently(self, trace_path, recwarn):
         Trace.load(trace_path)
         assert not [w for w in recwarn.list if "schema" in str(w.message)]
 
+    def test_v1_loads_silently(self, v1_trace_path, recwarn):
+        Trace.load(v1_trace_path)
+        assert not [w for w in recwarn.list if "schema" in str(w.message)]
+
     def test_unknown_version_rejected(self, trace_path, tmp_path):
         bad = rewrite_sidecar(
             trace_path, tmp_path / "future.bsctrace",
-            lambda s: s.__setitem__("schema", TRACE_SCHEMA_VERSION + 1),
+            lambda s: s.__setitem__("schema", 99),
         )
         with pytest.raises(TraceSchemaError, match="unknown trace schema"):
             Trace.load(bad)
@@ -68,18 +89,19 @@ class TestSchemaVersion:
         with pytest.raises(TraceSchemaError):
             Trace.load(bad)
 
-    def test_legacy_file_loads_with_warning(self, trace_path, tmp_path):
+    def test_legacy_file_loads_with_warning(self, v1_trace_path, tmp_path):
         legacy = rewrite_sidecar(
-            trace_path, tmp_path / "legacy.bsctrace",
+            v1_trace_path, tmp_path / "legacy.bsctrace",
             lambda s: s.pop("schema"),
         )
         with pytest.warns(UserWarning, match="no schema version"):
             loaded = Trace.load(legacy)
-        original = Trace.load(trace_path)
+        original = Trace.load(v1_trace_path)
         assert loaded.n_samples == original.n_samples
         assert len(loaded.events) == len(original.events)
 
-    def test_missing_sample_column_rejected(self, trace_path, tmp_path):
+    def test_missing_sample_column_rejected(self, v1_trace_path, tmp_path):
+        trace_path = v1_trace_path
         with zipfile.ZipFile(trace_path) as zin:
             sidecar = zin.read("trace.json")
             with zin.open("samples.npz") as f:

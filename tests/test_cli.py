@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.cli import main, main_fold, main_report, main_run, main_validate
+from repro.cli import (
+    main,
+    main_fold,
+    main_report,
+    main_run,
+    main_trace,
+    main_validate,
+)
 
 
 @pytest.fixture()
@@ -151,6 +158,65 @@ class TestFoldAlignment:
         assert main_fold(
             [str(trace_file), "-o", str(out), "--align", "ComputeSPMV_ref"]
         ) == 0
+
+
+class TestTrace:
+    def test_info_v2(self, trace_file, capsys):
+        assert main_trace(["info", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "trace container v2" in out
+        assert "compression: none" in out
+        assert "time_ns" in out
+        assert "samples:" in out
+
+    def test_info_v1(self, trace_file, tmp_path, capsys):
+        from repro.extrae.trace import Trace
+
+        v1 = tmp_path / "v1.bsctrace"
+        Trace.load(trace_file).save(v1, version=1)
+        assert main_trace(["info", str(v1)]) == 0
+        out = capsys.readouterr().out
+        assert "trace container v1" in out
+        assert "deflate (npz)" in out
+
+    def test_convert_round_trip_verified(self, trace_file, tmp_path, capsys):
+        v1 = tmp_path / "v1.bsctrace"
+        v2 = tmp_path / "v2.bsctrace"
+        assert main_trace(
+            ["convert", str(trace_file), "-o", str(v1),
+             "--to-version", "1", "--verify"]
+        ) == 0
+        assert main_trace(
+            ["convert", str(v1), "-o", str(v2), "--to-version", "2",
+             "--compression", "deflate", "--verify"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("digest verified") == 2
+        from repro.extrae.trace import Trace
+
+        assert Trace.load(v2).digest() == Trace.load(trace_file).digest()
+
+    def test_run_honours_version_and_compression_flags(self, tmp_path):
+        import json
+        import zipfile
+
+        path = tmp_path / "c.bsctrace"
+        assert main_run(["--workload", "stream", "--nx", "16",
+                         "--iterations", "1", "--compression", "deflate",
+                         "-o", str(path)]) == 0
+        with zipfile.ZipFile(path) as zf:
+            sidecar = json.loads(zf.read("trace.json"))
+        assert sidecar["schema"] == 2
+        assert sidecar["compression"] == "deflate"
+        v1 = tmp_path / "v1.bsctrace"
+        assert main_run(["--workload", "stream", "--nx", "16",
+                         "--iterations", "1", "--trace-version", "1",
+                         "-o", str(v1)]) == 0
+        with zipfile.ZipFile(v1) as zf:
+            assert json.loads(zf.read("trace.json"))["schema"] == 1
+
+    def test_trace_dispatch(self, trace_file):
+        assert main(["trace", "info", str(trace_file)]) == 0
 
 
 class TestRegionsRooflineFlags:

@@ -50,8 +50,9 @@ class TestCorruptedTraceFiles:
         # Rewrite with truncated sidecar.
         bad = tmp_path / "bad.bsctrace"
         with zipfile.ZipFile(path) as src, zipfile.ZipFile(bad, "w") as dst:
-            with src.open("samples.npz") as f:
-                dst.writestr("samples.npz", f.read())
+            for info in src.infolist():
+                if info.filename != "trace.json":
+                    dst.writestr(info.filename, src.read(info.filename))
             dst.writestr("trace.json", src.read("trace.json")[:50])
         with pytest.raises(json.JSONDecodeError):
             Trace.load(bad)
