@@ -1,0 +1,209 @@
+"""Scale-out rank pipeline benchmark harness.
+
+Runs an 8-rank STREAM stack through :class:`repro.parallel.RankSet`
+and measures what the spill pipeline buys over the legacy
+return-everything-through-the-pipe design:
+
+* **IPC bytes** — what crosses the process boundary per rank: the
+  legacy payload (a result pickled *with* its consolidated trace, which
+  is what shipping live results through a pool costs) vs the
+  :class:`~repro.parallel.ranks.RankSummary` the spill path actually
+  returns;
+* **parent-resident sample memory** — bytes of sample-table columns
+  the parent must hold: legacy keeps every rank's table live
+  simultaneously (sum over ranks) while ``RankSet.stream()`` touches
+  one memory-mapped rank at a time (max over ranks);
+* **wall-clock scaling** — the pooled scheduler vs the serial
+  in-process path, digest-checked: the speedup only counts if every
+  rank's content digest matches the serial run bit for bit.
+
+Results go to ``benchmarks/results/BENCH_ranks.json``.  Run directly:
+
+    PYTHONPATH=src python benchmarks/perf/bench_ranks.py
+
+``--min-mem-ratio X`` / ``--min-parallel-speedup X`` turn the two
+headline ratios into exit-status tripwires for CI (the speedup
+tripwire only arms on machines with at least two cores).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import sys
+import time
+from pathlib import Path
+
+from repro.extrae.tracer import TracerConfig
+from repro.extrae.trace import _SAMPLE_COLUMNS
+from repro.parallel import RankSet
+from repro.pipeline import SessionConfig
+from repro.workloads.stream import StreamConfig, StreamWorkload
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+N_RANKS = 8
+STREAM_N = 1_000_000
+ITERATIONS = 6
+PERIOD = 200  # dense enough for ~10^4.5 samples per rank
+
+
+class _StreamFactory:
+    """Picklable factory: every rank runs the same local triad."""
+
+    def __call__(self, rank: int, n_ranks: int) -> StreamWorkload:
+        return StreamWorkload(StreamConfig(n=STREAM_N, iterations=ITERATIONS))
+
+
+def session_config() -> SessionConfig:
+    return SessionConfig(
+        seed=13,
+        tracer=TracerConfig(load_period=PERIOD, store_period=PERIOD),
+    )
+
+
+def table_nbytes(trace) -> int:
+    """Resident bytes of one trace's consolidated sample columns."""
+    table = trace.sample_table()
+    return int(sum(table.column(name).nbytes for name in _SAMPLE_COLUMNS))
+
+
+def bench_serial():
+    """The serial in-memory reference: times it, keeps the digests."""
+    rank_set = RankSet(N_RANKS, session_config(), max_workers=1)
+    t0 = time.perf_counter()
+    results = rank_set.run(_StreamFactory())
+    seconds = time.perf_counter() - t0
+    return results, seconds
+
+
+def bench_pooled(serial_digests):
+    # Force at least two workers so the spill/IPC measurements exercise
+    # the pool even on a single-core box (the speedup tripwire stays
+    # gated on core count).
+    workers = min(N_RANKS, max(2, os.cpu_count() or 1))
+    rank_set = RankSet(N_RANKS, session_config(), max_workers=workers)
+    t0 = time.perf_counter()
+    results = rank_set.run(_StreamFactory())
+    seconds = time.perf_counter() - t0
+    digests_equal = [r.summary.digest for r in results] == serial_digests
+    fell_back = rank_set.last_fallback_reason is not None
+    return rank_set, results, seconds, digests_equal, fell_back
+
+
+def bench_ipc_bytes(serial_results, pooled_results):
+    """Pickle cost of what each design ships back per rank.
+
+    Legacy is reconstructed from the serial run's in-memory results:
+    the payload a pool would pipe if results still carried their
+    consolidated trace.  The spill path pipes the summary alone.
+    """
+    legacy = [
+        len(pickle.dumps((r.summary, r.trace))) for r in serial_results
+    ]
+    spill = [len(pickle.dumps(r.summary)) for r in pooled_results]
+    return {
+        "legacy_bytes_per_rank": max(legacy),
+        "spill_bytes_per_rank": max(spill),
+        "legacy_bytes_total": sum(legacy),
+        "spill_bytes_total": sum(spill),
+        "ratio": round(sum(legacy) / sum(spill), 1),
+    }
+
+
+def bench_parent_memory(serial_results, rank_set):
+    """Parent-resident sample bytes: all-at-once vs one-at-a-time.
+
+    The legacy figure sums every rank's consolidated table (the parent
+    held all of them simultaneously).  The streaming figure walks the
+    pooled run's spill files the way ``RankSet.stream()`` hands them
+    out — load one, measure, drop it — so the high-water mark is the
+    largest single rank.
+    """
+    legacy_total = sum(table_nbytes(r.trace) for r in serial_results)
+    streaming_peak = 0
+    if rank_set.spill_dir is not None:
+        from repro.extrae.trace import Trace
+
+        for path in sorted(rank_set.spill_dir.iterdir()):
+            trace = Trace.load(path)
+            streaming_peak = max(streaming_peak, table_nbytes(trace))
+            del trace
+    else:  # pool fell back entirely — one-at-a-time peak is still the max rank
+        streaming_peak = max(table_nbytes(r.trace) for r in serial_results)
+    return {
+        "legacy_all_ranks_bytes": legacy_total,
+        "streaming_peak_bytes": streaming_peak,
+        "ratio": round(legacy_total / streaming_peak, 1),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--min-mem-ratio", type=float, default=0.0,
+                   help="fail unless the spill pipeline holds at least "
+                        "this factor less parent-resident sample memory")
+    p.add_argument("--min-parallel-speedup", type=float, default=0.0,
+                   help="fail unless the pooled path beats serial by this "
+                        "factor (skipped on single-core machines)")
+    p.add_argument("-o", "--output", default=str(RESULTS / "BENCH_ranks.json"))
+    args = p.parse_args(argv)
+
+    cores = os.cpu_count() or 1
+    serial_results, serial_s = bench_serial()
+    serial_digests = [r.summary.digest for r in serial_results]
+    rank_set, pooled_results, pooled_s, digests_equal, fell_back = (
+        bench_pooled(serial_digests)
+    )
+    try:
+        report = {
+            "workload": f"STREAM n={STREAM_N}, {ITERATIONS} iterations, "
+                        f"sampling period {PERIOD}, {N_RANKS} ranks -> "
+                        f"{serial_results[0].summary.n_samples} samples/rank",
+            "cores": cores,
+            "ipc": bench_ipc_bytes(serial_results, pooled_results),
+            "parent_memory": bench_parent_memory(serial_results, rank_set),
+            "wall_clock": {
+                "serial_seconds": round(serial_s, 3),
+                "pooled_seconds": round(pooled_s, 3),
+                "speedup": round(serial_s / pooled_s, 2),
+                "digests_equal": digests_equal,
+                "pool_fell_back": fell_back,
+            },
+        }
+    finally:
+        rank_set.cleanup_spill()
+
+    out = Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"wrote {out}")
+
+    failed = False
+    if not digests_equal:
+        print("FAIL: pooled + spilled digests differ from the serial run",
+              file=sys.stderr)
+        failed = True
+    if fell_back:
+        print("FAIL: the pooled path fell back to serial execution",
+              file=sys.stderr)
+        failed = True
+    mem_ratio = report["parent_memory"]["ratio"]
+    if args.min_mem_ratio and mem_ratio < args.min_mem_ratio:
+        print(f"FAIL: parent memory ratio {mem_ratio}x "
+              f"< required {args.min_mem_ratio}x", file=sys.stderr)
+        failed = True
+    speedup = report["wall_clock"]["speedup"]
+    if args.min_parallel_speedup and cores >= 2 and \
+            speedup < args.min_parallel_speedup:
+        print(f"FAIL: pooled speedup {speedup}x "
+              f"< required {args.min_parallel_speedup}x", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,7 +16,10 @@
 * :mod:`repro.analysis.hybrid` — the closing suggestion turned into a
   tool: hybrid-memory placement advice from read/write asymmetry;
 * :mod:`repro.analysis.reuse` — sampled reuse-distance profiles (the
-  introduction's locality use case).
+  introduction's locality use case);
+* :mod:`repro.analysis.ranks` — cross-rank aggregation over a rank-set
+  run: pooled per-rank folds, the instance-weighted cluster report and
+  per-rank imbalance metrics.
 """
 
 from repro.analysis.bandwidth import phase_bandwidth_MBps
@@ -34,6 +37,14 @@ from repro.analysis.hybrid import (
 )
 from repro.analysis.metrics import RunMetrics, run_metrics
 from repro.analysis.phases import IterationPhases, Phase, segment_iteration
+from repro.analysis.ranks import (
+    ClusterReport,
+    Imbalance,
+    RankFold,
+    RankStats,
+    build_cluster_report,
+    fold_ranks,
+)
 from repro.analysis.regions import RegionReport, region_progress
 from repro.analysis.roofline import MachineRoof, RooflineReport, roofline
 from repro.analysis.reuse import ReuseProfile, sampled_reuse_profile
@@ -41,7 +52,11 @@ from repro.analysis.streams import DataStream, StreamReport, identify_streams
 from repro.analysis.sweeps import Sweep, detect_sweeps
 
 __all__ = [
+    "ClusterReport",
     "DataStream",
+    "Imbalance",
+    "RankFold",
+    "RankStats",
     "FoldedComparison",
     "LatencyBreakdown",
     "Figure1",
@@ -57,7 +72,9 @@ __all__ = [
     "StreamReport",
     "Sweep",
     "advise_placement",
+    "build_cluster_report",
     "build_figure1",
+    "fold_ranks",
     "compare_reports",
     "latency_breakdown",
     "top_cost_samples",

@@ -54,27 +54,60 @@ __all__ = [
 ]
 
 
-def _build_workload(args):
-    if args.workload == "hpcg":
+def _make_workload(
+    workload: str, nx: int, nlevels: int, iterations: int,
+    rank: int | None = None, npz: int | None = None,
+):
+    if workload == "hpcg":
+        extra = {}
+        if rank is not None:
+            extra = {"rank": rank, "npz": npz}
         return HpcgWorkload(
             HpcgConfig(
-                nx=args.nx, ny=args.nx, nz=args.nx,
-                nlevels=args.nlevels, n_iterations=args.iterations,
+                nx=nx, ny=nx, nz=nx,
+                nlevels=nlevels, n_iterations=iterations, **extra,
             )
         )
-    if args.workload == "stream":
-        return StreamWorkload(StreamConfig(n=args.nx**3, iterations=args.iterations))
-    if args.workload == "gups":
-        return RandomAccessWorkload(
-            RandomAccessConfig(iterations=args.iterations)
-        )
-    if args.workload == "stencil":
+    if workload == "stream":
+        return StreamWorkload(StreamConfig(n=nx**3, iterations=iterations))
+    if workload == "gups":
+        return RandomAccessWorkload(RandomAccessConfig(iterations=iterations))
+    if workload == "stencil":
         return StencilWorkload(
-            StencilConfig(nx=args.nx**2 if args.nx < 64 else args.nx,
-                          ny=args.nx**2 if args.nx < 64 else args.nx,
-                          iterations=args.iterations)
+            StencilConfig(nx=nx**2 if nx < 64 else nx,
+                          ny=nx**2 if nx < 64 else nx,
+                          iterations=iterations)
         )
-    raise SystemExit(f"unknown workload {args.workload!r}")
+    raise SystemExit(f"unknown workload {workload!r}")
+
+
+def _build_workload(args):
+    return _make_workload(args.workload, args.nx, args.nlevels, args.iterations)
+
+
+class _RankFactory:
+    """Picklable per-rank workload factory for ``--ranks`` runs.
+
+    HPCG gets its position in the 1-D rank stack (halo structure
+    follows); the other workloads run the same local problem per rank
+    (ASLR/sampling still differ through the derived seeds).
+    """
+
+    def __init__(self, workload: str, nx: int, nlevels: int, iterations: int):
+        self.workload = workload
+        self.nx = nx
+        self.nlevels = nlevels
+        self.iterations = iterations
+
+    def __call__(self, rank: int, n_ranks: int):
+        rank_args = (
+            {"rank": rank, "npz": n_ranks}
+            if self.workload == "hpcg"
+            else {}
+        )
+        return _make_workload(
+            self.workload, self.nx, self.nlevels, self.iterations, **rank_args
+        )
 
 
 def main_run(argv: list[str] | None = None) -> int:
@@ -99,6 +132,20 @@ def main_run(argv: list[str] | None = None) -> int:
     p.add_argument("--compression", choices=list(TRACE_COMPRESSIONS),
                    default="none",
                    help="v2 column compression (v1 is always deflated)")
+    p.add_argument("--ranks", type=int, default=1, metavar="N",
+                   help="simulate an N-rank stack (HPCG ranks get their "
+                        "halo position); workers spill per-rank traces "
+                        "and the representative interior rank is written "
+                        "to -o")
+    p.add_argument("--max-workers", type=int, default=None, metavar="W",
+                   help="process-pool width for --ranks (default: "
+                        "min(ranks, cpus); 1 forces the serial path)")
+    p.add_argument("--spill-dir", default=None, metavar="DIR",
+                   help="parent directory for the run-scoped rank spill "
+                        "(default: the system temp dir)")
+    p.add_argument("--keep-spill", action="store_true",
+                   help="preserve the per-rank spill directory instead "
+                        "of removing it after the run")
     args = p.parse_args(argv)
 
     config = SessionConfig(
@@ -110,11 +157,63 @@ def main_run(argv: list[str] | None = None) -> int:
             multiplex=not args.no_multiplex,
         ),
     )
+    if args.ranks > 1:
+        return _run_rank_set(args, config)
     trace = run_workload(_build_workload(args), config)
     path = trace.save(args.output, version=args.trace_version,
                       compression=args.compression)
     print(f"wrote {path} ({trace.n_samples} samples, "
           f"{len(trace.events)} events, {len(trace.objects)} objects)")
+    return 0
+
+
+def _run_rank_set(args, config) -> int:
+    """The ``--ranks N`` path of ``bsc-memtools-run``."""
+    from repro.analysis.ranks import rank_imbalance
+    from repro.parallel.ranks import RankSet
+    from repro.util.tables import format_table
+
+    rank_set = RankSet(args.ranks, config, max_workers=args.max_workers)
+    factory = _RankFactory(args.workload, args.nx, args.nlevels,
+                           args.iterations)
+    summaries = []
+
+    def progress(done, total, summary):
+        summaries.append(summary)
+        print(f"  rank {summary.rank:4d}: {summary.n_samples} samples, "
+              f"{summary.duration_ns / 1e6:.2f} ms  [{done}/{total}]")
+
+    results = rank_set.run(factory, spill_dir=args.spill_dir,
+                           progress=progress)
+    if rank_set.last_fallback_reason:
+        print(f"note: {rank_set.last_fallback_reason}")
+    rows = [
+        (r.rank, r.summary.seed, r.summary.n_samples,
+         r.summary.duration_ns / 1e6, r.summary.digest[:12])
+        for r in results
+    ]
+    print(format_table(
+        ["rank", "seed", "samples", "duration ms", "digest"],
+        rows,
+        title=f"{args.ranks}-rank {args.workload} stack",
+    ))
+    for metric, values in (
+        ("samples", [s.n_samples for s in summaries]),
+        ("duration_ns", [s.duration_ns for s in summaries]),
+    ):
+        im = rank_imbalance(values, metric)
+        print(f"  {metric}: min {im.min:,.0f} / median {im.median:,.0f} / "
+              f"max {im.max:,.0f} (max/mean {im.imbalance_factor:.3f})")
+    interior = results[args.ranks // 2]
+    path = interior.trace.save(args.output, version=args.trace_version,
+                               compression=args.compression)
+    print(f"wrote {path} (interior rank {interior.rank} "
+          f"of {args.ranks})")
+    if rank_set.spill_dir is not None:
+        if args.keep_spill:
+            print(f"per-rank spill kept at {rank_set.spill_dir}")
+        else:
+            rank_set.cleanup_spill()
     return 0
 
 

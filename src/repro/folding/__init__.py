@@ -35,7 +35,12 @@ from repro.folding.cache import FoldCache
 from repro.folding.detect import FoldInstances, instances_from_iterations, instances_from_regions
 from repro.folding.fold import FoldedSamples, fold_samples
 from repro.folding.lines import FoldedLines, fold_lines
-from repro.folding.model import FoldedCounters, FoldedCurve, fold_counters
+from repro.folding.model import (
+    FoldedCounters,
+    FoldedCurve,
+    fold_counters,
+    merge_counters,
+)
 from repro.folding.plan import FoldPlan
 from repro.folding.report import FoldedReport, fold_trace
 
@@ -55,6 +60,7 @@ __all__ = [
     "fold_lines",
     "fold_samples",
     "fold_trace",
+    "merge_counters",
     "build_warp",
     "render_figure",
     "instances_from_iterations",

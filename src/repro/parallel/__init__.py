@@ -15,7 +15,12 @@ parameter sweeps (bandwidth/grid points against one shared
 sweeps.
 """
 
-from repro.parallel.ranks import RankResult, RankSet
+from repro.parallel.ranks import (
+    RankResult,
+    RankSet,
+    RankSummary,
+    derive_rank_config,
+)
 from repro.parallel.sweeps import (
     SeedResult,
     SweepPoint,
@@ -27,6 +32,8 @@ from repro.parallel.sweeps import (
 __all__ = [
     "RankResult",
     "RankSet",
+    "RankSummary",
+    "derive_rank_config",
     "SeedResult",
     "SweepPoint",
     "SweepResult",

@@ -5,14 +5,18 @@ ablation in :mod:`benchmarks` or a seed-stability study — is
 embarrassingly parallel: the expensive trace-dependent work is shared
 (one :class:`~repro.folding.plan.FoldPlan` per trace), and each point
 is an independent fit.  :func:`fold_sweep` ships the trace to each
-worker **once** (pool initializer), builds the plan there, and folds
-that worker's share of points against it; :func:`seed_sweep` runs a
-workload at several seeds and folds each resulting trace.
+worker **once** (pre-pickled in the parent, delivered through the pool
+initializer), builds the plan there, and folds that worker's share of
+points against it; :func:`seed_sweep` runs a workload at several seeds
+and folds each resulting trace.
 
 Both functions reuse the serial-fallback discipline of
 :class:`~repro.parallel.ranks.RankSet`: one worker, an unpicklable
 input, or a sandbox that cannot spawn processes all fall back to a
-sequential in-process loop producing bit-identical results.
+sequential in-process loop producing bit-identical results, and the
+fallback reason is logged on the ``repro.parallel`` logger.  Inputs are
+pickled exactly once — the picklability probe's output *is* the payload
+the workers receive.
 """
 
 from __future__ import annotations
@@ -27,7 +31,7 @@ from typing import Callable, Sequence
 from repro.extrae.trace import Trace
 from repro.folding.plan import FoldPlan
 from repro.folding.report import FoldedReport
-from repro.parallel.ranks import _picklable
+from repro.parallel.ranks import _pickled_or_none, logger
 from repro.pipeline import SessionConfig, run_workload
 from repro.workloads.base import Workload
 
@@ -64,13 +68,15 @@ _WORKER_PLAN: FoldPlan | None = None
 
 
 def _init_fold_worker(
-    trace: Trace,
+    trace_bytes: bytes,
     prune_tolerance: float | None,
     align_regions: tuple[str, ...] | None,
 ) -> None:
     global _WORKER_PLAN
     _WORKER_PLAN = FoldPlan.from_trace(
-        trace, prune_tolerance=prune_tolerance, align_regions=align_regions
+        pickle.loads(trace_bytes),
+        prune_tolerance=prune_tolerance,
+        align_regions=align_regions,
     )
 
 
@@ -94,11 +100,11 @@ def fold_sweep(
 
     Points are the cross product ``grid_points × bandwidths`` in that
     nesting order, and results come back in point order regardless of
-    execution order.  With more than one worker the trace crosses to
-    each worker once and every worker reuses one plan; with one worker
-    (or an unpicklable trace, or no spawnable pool) the same points are
-    folded serially against a single in-process plan — same reports
-    either way.
+    execution order.  With more than one worker the trace is pickled
+    once, crosses to each worker through the pool initializer, and
+    every worker reuses one plan; with one worker (or an unpicklable
+    trace, or no spawnable pool) the same points are folded serially
+    against a single in-process plan — same reports either way.
 
     ``max_workers=None`` picks ``min(n_points, cpu_count)``; ``1``
     forces the serial path.
@@ -117,22 +123,29 @@ def fold_sweep(
         if max_workers is not None
         else min(len(points), os.cpu_count() or 1)
     )
-    if workers > 1 and len(points) > 1 and _picklable(trace):
-        try:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_fold_worker,
-                initargs=(trace, prune_tolerance, align_regions),
-            ) as pool:
-                futures = [pool.submit(_fold_point, p) for p in points]
-                reports = [f.result() for f in futures]
-            for report in reports:
-                report.trace = trace
-            return [SweepResult(p, r) for p, r in zip(points, reports)]
-        except (pickle.PicklingError, BrokenProcessPool, OSError):
-            # Pool unavailable (e.g. a sandbox forbids spawning):
-            # redo the identical computation serially.
-            pass
+    if workers > 1 and len(points) > 1:
+        trace_bytes = _pickled_or_none(trace)
+        if trace_bytes is None:
+            logger.info("fold_sweep fallback: trace is not picklable")
+        else:
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_fold_worker,
+                    initargs=(trace_bytes, prune_tolerance, align_regions),
+                ) as pool:
+                    futures = [pool.submit(_fold_point, p) for p in points]
+                    reports = [f.result() for f in futures]
+                for report in reports:
+                    report.trace = trace
+                return [SweepResult(p, r) for p, r in zip(points, reports)]
+            except (pickle.PicklingError, BrokenProcessPool, OSError) as exc:
+                # Pool unavailable (e.g. a sandbox forbids spawning):
+                # redo the identical computation serially.
+                logger.info(
+                    "fold_sweep fallback: process pool unavailable "
+                    "(%s: %s)", type(exc).__name__, exc,
+                )
     plan = FoldPlan.from_trace(
         trace, prune_tolerance=prune_tolerance, align_regions=align_regions
     )
@@ -159,6 +172,19 @@ def _run_seed(
     )
 
 
+def _run_seed_pickled(
+    seed: int,
+    config: SessionConfig,
+    factory_bytes: bytes,
+    grid_points: int,
+    bandwidth: float,
+) -> SeedResult:
+    """Pool entry point: the factory arrives pre-pickled."""
+    return _run_seed(
+        seed, config, pickle.loads(factory_bytes), grid_points, bandwidth
+    )
+
+
 def seed_sweep(
     workload_factory: Callable[[], Workload],
     seeds: Sequence[int],
@@ -173,7 +199,8 @@ def seed_sweep(
     move under ASLR/sampling randomization alone?  Each seed is a full
     independent simulation, so seeds execute in a process pool when
     available (results in seed order, bit-identical to serial); the
-    factory must be a picklable top-level callable for the pool path.
+    factory must be a picklable top-level callable for the pool path
+    and is pickled exactly once.
     """
     if max_workers is not None and max_workers < 1:
         raise ValueError(f"max_workers must be positive, got {max_workers}")
@@ -186,19 +213,26 @@ def seed_sweep(
         if max_workers is not None
         else min(len(seeds), os.cpu_count() or 1)
     )
-    if workers > 1 and len(seeds) > 1 and _picklable(workload_factory):
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(
-                        _run_seed, seed, config, workload_factory,
-                        grid_points, bandwidth,
-                    )
-                    for seed in seeds
-                ]
-                return [f.result() for f in futures]
-        except (pickle.PicklingError, BrokenProcessPool, OSError):
-            pass
+    if workers > 1 and len(seeds) > 1:
+        factory_bytes = _pickled_or_none(workload_factory)
+        if factory_bytes is None:
+            logger.info("seed_sweep fallback: factory is not picklable")
+        else:
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(
+                            _run_seed_pickled, seed, config, factory_bytes,
+                            grid_points, bandwidth,
+                        )
+                        for seed in seeds
+                    ]
+                    return [f.result() for f in futures]
+            except (pickle.PicklingError, BrokenProcessPool, OSError) as exc:
+                logger.info(
+                    "seed_sweep fallback: process pool unavailable "
+                    "(%s: %s)", type(exc).__name__, exc,
+                )
     return [
         _run_seed(seed, config, workload_factory, grid_points, bandwidth)
         for seed in seeds

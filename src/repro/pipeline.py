@@ -33,7 +33,13 @@ from repro.vmem.binimage import BinaryImage
 from repro.vmem.layout import AddressSpace, AddressSpaceConfig
 from repro.workloads.base import Workload
 
-__all__ = ["Session", "SessionConfig", "analyze_hpcg", "run_workload"]
+__all__ = [
+    "Session",
+    "SessionConfig",
+    "analyze_hpcg",
+    "analyze_hpcg_ranks",
+    "run_workload",
+]
 
 
 @dataclass(frozen=True)
@@ -143,3 +149,43 @@ def analyze_hpcg(
         trace, grid_points=grid_points, bandwidth=bandwidth, cache=cache
     )
     return report, build_figure1(report)
+
+
+def analyze_hpcg_ranks(
+    results,
+    bandwidth: float = 0.015,
+    grid_points: int = 201,
+    max_workers: int | None = None,
+    cache=None,
+):
+    """Cluster-level §III analysis over a full rank-set run.
+
+    Folds every rank of *results* (a :meth:`repro.parallel.RankSet.run`
+    result list) through the pooled per-rank fold map, merges the
+    folded curves into the instance-weighted
+    :class:`~repro.analysis.ranks.ClusterReport`, and runs the paper's
+    single-task Figure-1 analysis on the representative interior rank.
+
+    Returns ``(cluster, report, figure)`` — the cluster report plus the
+    interior rank's :class:`~repro.folding.report.FoldedReport` and
+    :class:`~repro.analysis.figures.Figure1`.
+    """
+    from repro.analysis.ranks import build_cluster_report, fold_ranks
+
+    results = list(results)
+    if not results:
+        raise ValueError("cannot analyze zero ranks")
+    folds = fold_ranks(
+        results,
+        grid_points=grid_points,
+        bandwidth=bandwidth,
+        max_workers=max_workers,
+        cache=cache,
+    )
+    cluster = build_cluster_report(folds)
+    interior = results[len(results) // 2]
+    report, figure = analyze_hpcg(
+        interior.trace, bandwidth=bandwidth, grid_points=grid_points,
+        cache=cache,
+    )
+    return cluster, report, figure

@@ -52,6 +52,44 @@ class TestRun:
         assert path.exists()
 
 
+class TestRanks:
+    def test_ranks_run_writes_interior_trace(self, tmp_path, capsys):
+        path = tmp_path / "cluster.bsctrace"
+        assert main_run(["--workload", "stream", "--nx", "8",
+                         "--iterations", "2", "--ranks", "3",
+                         "--max-workers", "2", "-o", str(path)]) == 0
+        assert path.exists()
+        out = capsys.readouterr().out
+        assert "3-rank stream stack" in out
+        assert "interior rank 1 of 3" in out
+        assert "samples: min" in out
+
+    def test_keep_spill_preserves_rank_traces(self, tmp_path, capsys):
+        path = tmp_path / "cluster.bsctrace"
+        spill = tmp_path / "spill"
+        assert main_run(["--workload", "hpcg", "--nx", "8",
+                         "--nlevels", "1", "--iterations", "2",
+                         "--ranks", "2", "--max-workers", "2",
+                         "--spill-dir", str(spill), "--keep-spill",
+                         "-o", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "per-rank spill kept at" in out
+        run_dirs = list(spill.iterdir())
+        assert len(run_dirs) == 1
+        assert sorted(p.name for p in run_dirs[0].iterdir()) == [
+            "rank00000.bsctrace", "rank00001.bsctrace",
+        ]
+
+    def test_spill_cleaned_by_default(self, tmp_path):
+        path = tmp_path / "cluster.bsctrace"
+        spill = tmp_path / "spill"
+        assert main_run(["--workload", "stream", "--nx", "8",
+                         "--iterations", "1", "--ranks", "2",
+                         "--max-workers", "2",
+                         "--spill-dir", str(spill), "-o", str(path)]) == 0
+        assert list(spill.iterdir()) == []
+
+
 class TestFold:
     def test_exports_panels(self, trace_file, tmp_path, capsys):
         out = tmp_path / "folded"
