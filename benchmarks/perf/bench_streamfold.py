@@ -1,0 +1,175 @@
+"""Streaming fold benchmark harness.
+
+Generates a multi-million-sample STREAM trace, saves it as a v2
+``ZIP_STORED`` container, and folds it twice from the file:
+
+* **resident** — ``Trace.load`` + :func:`repro.folding.report.fold_trace`:
+  the whole sample table and the per-sample folded views are
+  materialized in the parent;
+* **streamed** — :func:`repro.folding.stream.stream_fold_trace` on the
+  *path*: two passes of O(chunk) column slices through the chunkwise
+  design accumulator.
+
+Both runs execute under :func:`memprof.memory_probe`.  The headline
+ratio divides the tracemalloc peaks (exact Python-level allocation
+high-water marks; the streamed reader deliberately avoids ``mmap`` so
+its chunks are visible to tracemalloc) and the folds' content digests
+(:func:`repro.folding.stream.fold_digest`) must match bit for bit —
+the memory ratio only counts if the streamed fold is exact.
+
+Results go to ``benchmarks/results/BENCH_streamfold.json``.  Run
+directly:
+
+    PYTHONPATH=src python benchmarks/perf/bench_streamfold.py
+
+``--min-mem-ratio X`` turns the peak-memory ratio into an exit-status
+tripwire for CI; digest equality is always enforced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from memprof import memory_probe
+
+from repro.extrae.trace import Trace
+from repro.extrae.tracer import TracerConfig
+from repro.folding.report import fold_trace
+from repro.folding.stream import fold_digest, stream_fold_trace
+from repro.pipeline import SessionConfig, run_workload
+from repro.workloads.stream import StreamConfig, StreamWorkload
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+# ~12M memory samples: the acceptance scale (>= 10M) where the resident
+# fold's working set is GBs while the streamed fold stays at O(chunk).
+STREAM_N = 5_000_000
+ITERATIONS = 16
+PERIOD = 10
+
+
+def make_trace_file(tmp: Path, stream_n: int, iterations: int, period: int) -> Path:
+    trace = run_workload(
+        StreamWorkload(StreamConfig(n=stream_n, iterations=iterations)),
+        SessionConfig(
+            seed=11,
+            tracer=TracerConfig(load_period=period, store_period=period),
+        ),
+    )
+    path = tmp / "streamfold.bsctrace"
+    trace.save(path, version=2, compression="none")
+    n = trace.n_samples
+    del trace
+    gc.collect()
+    return path, n
+
+
+def bench_resident(path: Path):
+    gc.collect()
+    with memory_probe() as probe:
+        trace = Trace.load(path)
+        report = fold_trace(trace)
+        digest = fold_digest(report)
+    n_folded = report.samples.n
+    del report, trace
+    gc.collect()
+    return digest, n_folded, probe
+
+
+def bench_streamed(path: Path, chunk_rows: int):
+    gc.collect()
+    with memory_probe() as probe:
+        streamed = stream_fold_trace(path, chunk_rows=chunk_rows)
+        digest = streamed.digest()
+    n_folded = streamed.n_folded
+    del streamed
+    gc.collect()
+    return digest, n_folded, probe
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--stream-n", type=int, default=STREAM_N)
+    p.add_argument("--iterations", type=int, default=ITERATIONS)
+    p.add_argument("--period", type=int, default=PERIOD,
+                   help="PEBS sampling period (smaller = more samples)")
+    p.add_argument("--chunk-rows", type=int, default=None,
+                   help="streamed chunk size (default: the library default)")
+    p.add_argument("--min-mem-ratio", type=float, default=0.0,
+                   help="fail unless the streamed fold's tracemalloc peak "
+                        "is at least this factor below the resident fold's")
+    p.add_argument("-o", "--output",
+                   default=str(RESULTS / "BENCH_streamfold.json"))
+    args = p.parse_args(argv)
+
+    from repro.extrae.storage import DEFAULT_CHUNK_ROWS
+
+    chunk_rows = args.chunk_rows or DEFAULT_CHUNK_ROWS
+
+    with tempfile.TemporaryDirectory() as tmp:
+        t0 = time.perf_counter()
+        path, n_samples = make_trace_file(
+            Path(tmp), args.stream_n, args.iterations, args.period
+        )
+        generate_s = time.perf_counter() - t0
+
+        resident_digest, resident_n, resident = bench_resident(path)
+        streamed_digest, streamed_n, streamed = bench_streamed(path, chunk_rows)
+
+        file_bytes = path.stat().st_size
+
+    digests_equal = resident_digest == streamed_digest
+    mem_ratio = resident.traced_peak_bytes / max(streamed.traced_peak_bytes, 1)
+    report = {
+        "workload": f"STREAM n={args.stream_n}, {args.iterations} iterations, "
+                    f"sampling period {args.period} -> "
+                    f"{n_samples} memory samples",
+        "n_samples": n_samples,
+        "file_bytes": file_bytes,
+        "generate_seconds": round(generate_s, 3),
+        "chunk_rows": chunk_rows,
+        "resident": {
+            **resident.as_dict(),
+            "seconds": round(resident.elapsed_s, 3),
+            "n_folded": resident_n,
+        },
+        "streamed": {
+            **streamed.as_dict(),
+            "seconds": round(streamed.elapsed_s, 3),
+            "n_folded": streamed_n,
+        },
+        "peak_memory_ratio": round(mem_ratio, 1),
+        "rss_peak_ratio": round(
+            resident.rss_peak_delta_bytes
+            / max(streamed.rss_peak_delta_bytes, 1),
+            1,
+        ),
+        "digests_equal": digests_equal,
+    }
+
+    out = Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"wrote {out}")
+
+    failed = False
+    if not digests_equal:
+        print("FAIL: streamed fold digest differs from the resident fold",
+              file=sys.stderr)
+        failed = True
+    if args.min_mem_ratio and mem_ratio < args.min_mem_ratio:
+        print(f"FAIL: peak-memory ratio {mem_ratio:.1f}x "
+              f"< required {args.min_mem_ratio}x", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,8 @@ from pathlib import Path
 
 import numpy as np
 
+from memprof import memory_probe
+
 from repro.extrae.index import TraceIndex
 from repro.extrae.trace import _SAMPLE_COLUMNS, SampleTable, Trace
 from repro.extrae.tracer import TracerConfig
@@ -319,11 +321,21 @@ def bench_load_query(trace, repeats, tmp):
 
     v1_s, v1_result = best_of(repeats, lambda: query(v1))
     v2_s, v2_result = best_of(repeats, lambda: query(v2))
+    # Peak allocation of one load+query through the shared probe: the
+    # eager v1 loader inflates and materializes the whole table, the
+    # lazy v2 path memory-maps columns (invisible to tracemalloc by
+    # design — pages are the OS's, not the allocator's).
+    with memory_probe() as v1_mem:
+        query(v1)
+    with memory_probe() as v2_mem:
+        query(v2)
     return {
         "query": "load + time_ns column + half-trace window count",
         "v1_seconds": round(v1_s, 4),
         "v2_seconds": round(v2_s, 4),
         "speedup": round(v1_s / v2_s, 2),
+        "v1_traced_peak_bytes": v1_mem.traced_peak_bytes,
+        "v2_traced_peak_bytes": v2_mem.traced_peak_bytes,
         "results_equal": v1_result == v2_result,
     }
 

@@ -236,6 +236,15 @@ def main_fold(argv: list[str] | None = None) -> int:
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="cache directory (implies --cache; default "
                         "$REPRO_FOLD_CACHE_DIR or ~/.cache/repro/folding)")
+    p.add_argument("--stream", action="store_true",
+                   help="fold the performance panel chunk by chunk with "
+                        "O(chunk) memory (counters.dat only; bit-identical "
+                        "curves)")
+    p.add_argument("--chunk-rows", type=int, default=None, metavar="N",
+                   help="rows per streamed chunk (with --stream)")
+    p.add_argument("--live-report-every", type=int, default=None, metavar="N",
+                   help="with --stream: print a partial-curves progress "
+                        "line every N chunks")
     args = p.parse_args(argv)
 
     align = None
@@ -248,6 +257,35 @@ def main_fold(argv: list[str] | None = None) -> int:
         from repro.folding.cache import FoldCache
 
         cache = FoldCache(args.cache_dir)
+    if args.stream:
+        if align is not None:
+            p.error("--align needs the resident fold (drop --stream)")
+        from repro.folding.stream import DEFAULT_CHUNK_ROWS, stream_fold_trace
+
+        def _progress(snapshot):
+            mips = snapshot.mips()
+            print(f"  partial fold: mean MIPS {float(mips.mean()):.1f} "
+                  f"over σ grid of {mips.size}")
+
+        # Pass the path, not a loaded Trace: the streaming driver then
+        # only ever materializes O(chunk) column slices.
+        streamed = stream_fold_trace(
+            args.trace,
+            chunk_rows=(args.chunk_rows if args.chunk_rows is not None
+                        else DEFAULT_CHUNK_ROWS),
+            grid_points=args.grid,
+            bandwidth=args.bandwidth,
+            cache=cache,
+            report_every=args.live_report_every,
+            on_snapshot=_progress if args.live_report_every else None,
+        )
+        written = streamed.export_gnuplot(args.output_dir)
+        print(streamed.summary())
+        for path in written:
+            print(f"wrote {path}")
+        return 0
+    if args.chunk_rows is not None or args.live_report_every is not None:
+        p.error("--chunk-rows/--live-report-every require --stream")
     trace = Trace.load(args.trace)
     report = fold_trace(trace, grid_points=args.grid,
                         bandwidth=args.bandwidth, align_regions=align,

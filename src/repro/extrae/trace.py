@@ -469,6 +469,46 @@ class Trace:
             )
         return self._table
 
+    def iter_sample_chunks(
+        self,
+        columns: tuple[str, ...] | None = None,
+        chunk_rows: int | None = None,
+    ):
+        """Stream the consolidated sample columns in row chunks.
+
+        Yields ``{name: np.ndarray}`` dicts of equal-length row slices
+        in time order, covering every sample exactly once.  For a trace
+        lazily backed by a v2 container the chunks come straight off
+        the file through :func:`repro.extrae.storage.iter_chunks` —
+        O(chunk) memory, nothing materialized or memory-mapped.  For an
+        in-memory (recording) trace the chunks are zero-copy views of
+        the consolidated table.  Either way the streaming fold
+        (:mod:`repro.folding.stream`) consumes the same chunk shape.
+        """
+        from repro.extrae.storage import DEFAULT_CHUNK_ROWS, iter_chunks
+
+        if chunk_rows is None:
+            chunk_rows = DEFAULT_CHUNK_ROWS
+        if chunk_rows <= 0:
+            raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
+        names = tuple(columns) if columns is not None else tuple(_SAMPLE_COLUMNS)
+        unknown = [name for name in names if name not in _SAMPLE_COLUMNS]
+        if unknown:
+            raise KeyError(f"unknown sample columns {unknown}")
+        table = self.sample_table()
+        if isinstance(table, _LazySampleTable):
+            for chunk in iter_chunks(table._reader.path, names, chunk_rows):
+                yield {
+                    name: arr.astype(_SAMPLE_COLUMNS[name], copy=False)
+                    for name, arr in chunk.items()
+                }
+            return
+        n = len(table)
+        cols = {name: table.column(name) for name in names}
+        for lo in range(0, n, chunk_rows):
+            hi = min(lo + chunk_rows, n)
+            yield {name: col[lo:hi] for name, col in cols.items()}
+
     # -- indexed queries ----------------------------------------------------
     def index(self) -> TraceIndex:
         """Prebuilt event/sample indexes over this trace (cached).

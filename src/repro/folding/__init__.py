@@ -25,7 +25,11 @@ evolution from coarse-grained sampling:
   trace-dependent half of a fold (sweeps fit many parameter points
   against one plan);
 * :mod:`repro.folding.cache` — the opt-in content-addressed on-disk
-  report cache keyed by (trace digest, fold parameters).
+  report cache keyed by (trace digest, fold parameters);
+* :mod:`repro.folding.stream` — bounded-memory chunkwise folding of
+  the performance direction: the exact two-pass
+  :func:`stream_fold_trace` (bit-identical to the resident fold) and
+  the single-pass live :class:`LiveFold`.
 """
 
 from repro.folding.address import FoldedAddresses, fold_addresses
@@ -38,16 +42,27 @@ from repro.folding.lines import FoldedLines, fold_lines
 from repro.folding.model import (
     FoldedCounters,
     FoldedCurve,
+    fit_counter_curves,
     fold_counters,
     merge_counters,
 )
 from repro.folding.plan import FoldPlan
 from repro.folding.report import FoldedReport, fold_trace
+from repro.folding.stream import (
+    LiveFold,
+    StreamedFold,
+    StreamingFold,
+    fold_digest,
+    stream_fold_trace,
+)
 
 __all__ = [
     "FoldCache",
     "FoldInstances",
     "FoldPlan",
+    "LiveFold",
+    "StreamedFold",
+    "StreamingFold",
     "TimeWarp",
     "FoldedAddresses",
     "FoldedCounters",
@@ -55,8 +70,10 @@ __all__ = [
     "FoldedLines",
     "FoldedReport",
     "FoldedSamples",
+    "fit_counter_curves",
     "fold_addresses",
     "fold_counters",
+    "fold_digest",
     "fold_lines",
     "fold_samples",
     "fold_trace",
@@ -65,4 +82,5 @@ __all__ = [
     "render_figure",
     "instances_from_iterations",
     "instances_from_regions",
+    "stream_fold_trace",
 ]

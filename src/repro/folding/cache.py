@@ -240,8 +240,15 @@ def _rewrap(report):
     Callers may mutate the returned report's annotation bands
     (``report.addresses.annotate(...)``); re-wrapping on every memo
     store/hit keeps those mutations out of the memoized entry.
+    Entries without an address view (the counters-only
+    :class:`~repro.folding.stream.StreamedFold` shares this cache with
+    full reports under identical keys) have nothing mutable to shield
+    and pass through as-is.
     """
     from dataclasses import replace as _replace
 
-    fresh = _replace(report.addresses, bands=list(report.addresses.bands))
+    addresses = getattr(report, "addresses", None)
+    if addresses is None:
+        return report
+    fresh = _replace(addresses, bands=list(addresses.bands))
     return _replace(report, addresses=fresh)

@@ -21,7 +21,13 @@ from repro.extrae.trace import SampleTable
 from repro.folding.detect import FoldInstances
 from repro.simproc.machine import SAMPLE_COUNTERS
 
-__all__ = ["FoldedSamples", "count_in_instances", "fold_samples"]
+__all__ = [
+    "FoldedSamples",
+    "boundary_increments",
+    "boundary_values",
+    "count_in_instances",
+    "fold_samples",
+]
 
 
 def _inside_mask(
@@ -35,6 +41,34 @@ def _inside_mask(
     idx = np.searchsorted(starts, t, side="right") - 1
     inside = (idx >= 0) & (t < ends[np.maximum(idx, 0)])
     return idx, inside
+
+
+def boundary_values(
+    t: np.ndarray, series: np.ndarray, at: np.ndarray
+) -> np.ndarray:
+    """Cumulative counter readings interpolated at boundary times *at*.
+
+    A trace with no samples reads zero everywhere (there is nothing to
+    interpolate from).
+    """
+    return np.interp(at, t, series) if t.size else np.zeros_like(at)
+
+
+def boundary_increments(
+    c_start: np.ndarray, c_end: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-instance counter increments from boundary readings.
+
+    Returns ``(totals, degenerate, denom)``: the raw increment clamped
+    at zero, the mask of non-positive raw increments, and the fraction
+    denominator (raw clamped at 1e-12).  This is the *single* clamp
+    site — the resident :func:`fold_samples` and the streaming
+    accumulator (:mod:`repro.folding.stream`) both derive their
+    totals/degenerate flags here, so incremental accumulation cannot
+    drift from the whole-trace computation.
+    """
+    raw = c_end - c_start
+    return np.maximum(raw, 0.0), raw <= 0.0, np.maximum(raw, 1e-12)
 
 
 def count_in_instances(table: SampleTable, instances: FoldInstances) -> int:
@@ -139,15 +173,14 @@ def fold_samples(
     degenerate: dict[str, np.ndarray] = {}
     for name in SAMPLE_COUNTERS:
         series = table.column(name)
-        c_start = np.interp(starts, t, series) if t.size else np.zeros_like(starts)
-        c_end = np.interp(ends, t, series) if t.size else np.zeros_like(ends)
-        raw = c_end - c_start
-        denom = np.maximum(raw, 1e-12)
+        c_start = boundary_values(t, series, starts)
+        c_end = boundary_values(t, series, ends)
+        totals[name], degenerate[name], denom = boundary_increments(
+            c_start, c_end
+        )
         value = kept.column(name)
         frac = (value - c_start[idx]) / denom[idx]
         fractions[name] = np.clip(frac, 0.0, 1.0)
-        totals[name] = np.maximum(raw, 0.0)
-        degenerate[name] = raw <= 0.0
 
     return FoldedSamples(
         instances=instances,

@@ -16,8 +16,9 @@ Rates are reported in physically meaningful units:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -29,6 +30,7 @@ __all__ = [
     "FoldedCounters",
     "FoldedCurve",
     "counter_design",
+    "fit_counter_curves",
     "fold_counters",
     "merge_counters",
 ]
@@ -108,6 +110,25 @@ class FoldedCounters:
         if not 0.0 <= lo < hi <= 1.0:
             raise ValueError(f"bad window [{lo}, {hi}]")
         return (hi - lo) * self.duration_ns
+
+    def digest(self) -> str:
+        """Content digest of the fitted curves (hex SHA-256).
+
+        Hashes every curve's grid, cumulative fit, rate and mean total
+        plus the mean instance duration — byte-exact, so two folds
+        agree on the digest iff their fitted output is bit-identical.
+        The streaming-fold tests and ``bench_streamfold`` compare
+        streamed against resident folds through this.
+        """
+        h = hashlib.sha256()
+        h.update(np.float64(self.duration_ns).tobytes())
+        for name in sorted(self.curves):
+            c = self.curves[name]
+            h.update(name.encode())
+            h.update(np.float64(c.total_mean).tobytes())
+            for arr in (c.sigma, c.cumulative, c.rate):
+                h.update(np.ascontiguousarray(arr, dtype=np.float64).tobytes())
+        return h.hexdigest()
 
 
 def merge_counters(
@@ -209,12 +230,39 @@ def fold_counters(
         raise ValueError("cannot fold counters without samples")
     if design is None:
         design = counter_design(folded, counters)
-    elif design.n_targets != len(counters):
+    return fit_counter_curves(
+        design,
+        grid_points=grid_points,
+        bandwidth=bandwidth,
+        counters=counters,
+        totals_mean={
+            name: folded.counter_total_mean(name) for name in counters
+        },
+        duration_ns=folded.instances.mean_duration_ns,
+    )
+
+
+def fit_counter_curves(
+    design: BinnedDesign,
+    *,
+    grid_points: int = 201,
+    bandwidth: float = 0.015,
+    counters: tuple[str, ...] = SAMPLE_COUNTERS,
+    totals_mean: Mapping[str, float],
+    duration_ns: float,
+) -> FoldedCounters:
+    """Fit :class:`FoldedCounters` from a design plus instance stats.
+
+    The design-to-curves half of :func:`fold_counters`, factored out so
+    a streaming fold — which accumulates the design chunk by chunk and
+    never holds a :class:`~repro.folding.fold.FoldedSamples` — produces
+    its curves through the *same* code path as the resident fold.
+    """
+    if design.n_targets != len(counters):
         raise ValueError(
             f"design has {design.n_targets} targets for {len(counters)} counters"
         )
     grid = np.linspace(0.0, 1.0, grid_points)
-    duration = folded.instances.mean_duration_ns
     fits = fit_design(design, grid, bandwidth)
     curves: dict[str, FoldedCurve] = {}
     for row, name in enumerate(counters):
@@ -223,12 +271,12 @@ def fold_counters(
         cumulative = np.clip(fits[row], 0.0, 1.0)
         rate_sigma = np.gradient(cumulative, grid)
         rate_sigma = np.maximum(rate_sigma, 0.0)
-        total = folded.counter_total_mean(name)
+        total = float(totals_mean[name])
         curves[name] = FoldedCurve(
             name=name,
             sigma=grid,
             cumulative=cumulative,
-            rate=rate_sigma * total / duration,
+            rate=rate_sigma * total / duration_ns,
             total_mean=total,
         )
-    return FoldedCounters(curves=curves, duration_ns=duration)
+    return FoldedCounters(curves=curves, duration_ns=duration_ns)

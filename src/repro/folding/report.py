@@ -24,7 +24,7 @@ from repro.folding.model import FoldedCounters
 from repro.memsim.datasource import DataSource
 from repro.objects.registry import DataObjectRegistry
 
-__all__ = ["FoldedReport", "fold_trace"]
+__all__ = ["FoldedReport", "export_counters_dat", "fold_trace"]
 
 
 @dataclass
@@ -108,21 +108,7 @@ class FoldedReport:
         )
         written.append(path)
 
-        path = directory / "counters.dat"
-        c = self.counters
-        rates = {
-            name: c.per_instruction(name)
-            for name in ("branches", "l1d_misses", "l2_misses", "l3_misses")
-        }
-        _write_columns(
-            path,
-            "# sigma mips ipc " + " ".join(rates),
-            _fmt_float(c.sigma, 6),
-            _fmt_float(c.mips(), 1),
-            _fmt_float(c.ipc(), 4),
-            *(_fmt_float(rates[name], 6) for name in rates),
-        )
-        written.append(path)
+        written.append(export_counters_dat(self.counters, directory))
 
         path = directory / "objects.dat"
         rows = [
@@ -136,6 +122,30 @@ class FoldedReport:
         path.write_text("\n".join(["# name kind start end bytes_user", *rows]) + "\n")
         written.append(path)
         return written
+
+
+def export_counters_dat(counters: FoldedCounters, directory: str | Path) -> Path:
+    """Write the performance panel (``counters.dat``) of *counters*.
+
+    Shared by the resident report and the streamed fold
+    (:class:`~repro.folding.stream.StreamedFold`), so both paths emit
+    byte-identical files from identical curves.
+    """
+    directory = Path(directory)
+    path = directory / "counters.dat"
+    rates = {
+        name: counters.per_instruction(name)
+        for name in ("branches", "l1d_misses", "l2_misses", "l3_misses")
+    }
+    _write_columns(
+        path,
+        "# sigma mips ipc " + " ".join(rates),
+        _fmt_float(counters.sigma, 6),
+        _fmt_float(counters.mips(), 1),
+        _fmt_float(counters.ipc(), 4),
+        *(_fmt_float(rates[name], 6) for name in rates),
+    )
+    return path
 
 
 def _fmt_float(values: np.ndarray, decimals: int) -> np.ndarray:
@@ -166,6 +176,8 @@ def fold_trace(
     prune_tolerance: float | None = 0.5,
     align_regions: tuple[str, ...] | None = None,
     cache=None,
+    streaming: bool = False,
+    chunk_rows: int | None = None,
 ) -> FoldedReport:
     """One-call folding of a trace into the three-direction report.
 
@@ -196,8 +208,45 @@ def fold_trace(
         exact parameters is returned from disk; otherwise the fresh
         report is stored before returning.  Only default *instances*
         and *registry* are cacheable (explicit ones bypass the cache).
+    streaming:
+        Fold the performance direction chunk by chunk with O(chunk)
+        parent memory instead of materializing the sample table
+        (:func:`repro.folding.stream.stream_fold_trace`).  Returns a
+        counters-only :class:`~repro.folding.stream.StreamedFold` —
+        curves, totals and degenerate flags bit-identical to the
+        resident report's — not a full :class:`FoldedReport`; the
+        address and source-line directions need the resident path.
+        Incompatible with explicit *instances*/*registry* and with
+        *align_regions*.
+    chunk_rows:
+        Rows per streamed chunk (``streaming=True`` only).
     """
     from repro.folding.plan import FoldPlan
+
+    if streaming:
+        from repro.folding.stream import DEFAULT_CHUNK_ROWS, stream_fold_trace
+
+        if instances is not None or registry is not None:
+            raise ValueError(
+                "streaming folds derive instances from the trace and carry "
+                "no address view — explicit instances/registry need the "
+                "resident fold"
+            )
+        if align_regions is not None:
+            raise ValueError(
+                "streaming folds use the linear per-instance projection — "
+                "align_regions needs the resident fold"
+            )
+        return stream_fold_trace(
+            trace,
+            chunk_rows=chunk_rows if chunk_rows is not None else DEFAULT_CHUNK_ROWS,
+            grid_points=grid_points,
+            bandwidth=bandwidth,
+            prune_tolerance=prune_tolerance,
+            cache=cache,
+        )
+    if chunk_rows is not None:
+        raise ValueError("chunk_rows only applies to streaming folds")
 
     cacheable = cache is not None and instances is None and registry is None
     if cacheable:
@@ -209,7 +258,10 @@ def fold_trace(
             align_regions=align_regions,
         )
         hit = cache.get(key)
-        if hit is not None:
+        # A counters-only streamed entry can share this key; the
+        # resident path cannot serve a full report from it, so treat it
+        # as a miss (the fresh full report then overwrites the entry).
+        if isinstance(hit, FoldedReport):
             # Entries are stored without the (large) input trace; the
             # caller's live trace is bit-identical by key construction.
             hit.trace = trace

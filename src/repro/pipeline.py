@@ -39,6 +39,7 @@ __all__ = [
     "analyze_hpcg",
     "analyze_hpcg_ranks",
     "run_workload",
+    "streamfold_trace",
 ]
 
 
@@ -132,6 +133,36 @@ def run_workload(
 
         validate_trace(trace, session.config.hierarchy).raise_on_error()
     return trace
+
+
+def streamfold_trace(
+    source,
+    bandwidth: float = 0.015,
+    grid_points: int = 201,
+    chunk_rows: int | None = None,
+    cache=None,
+):
+    """Fold a trace's performance direction with O(chunk) memory.
+
+    The pipeline-level face of
+    :func:`repro.folding.stream.stream_fold_trace`: *source* is a
+    :class:`~repro.extrae.trace.Trace` or a path to a saved container —
+    pass the *path* of a big trace so only O(chunk) column slices are
+    ever resident.  Returns a counters-only
+    :class:`~repro.folding.stream.StreamedFold` whose curves, totals
+    and degenerate flags are bit-identical to the resident
+    :func:`~repro.folding.report.fold_trace` at the same parameters;
+    cache entries are shared with resident folds under unchanged keys.
+    """
+    from repro.folding.stream import DEFAULT_CHUNK_ROWS, stream_fold_trace
+
+    return stream_fold_trace(
+        source,
+        chunk_rows=chunk_rows if chunk_rows is not None else DEFAULT_CHUNK_ROWS,
+        grid_points=grid_points,
+        bandwidth=bandwidth,
+        cache=cache,
+    )
 
 
 def analyze_hpcg(

@@ -30,6 +30,9 @@ import numpy as np
 
 __all__ = [
     "BinnedDesign",
+    "assign_design_bins",
+    "binned_design_from_sums",
+    "design_bin_edges",
     "fit_design",
     "isotonic_fit",
     "make_design",
@@ -249,19 +252,48 @@ def make_design(
     if x.size <= BIN_THRESHOLD:
         return BinnedDesign(x=x, w=w, Y=Y)
 
-    span_lo, span_hi = float(x.min()), float(x.max())
+    edges = design_bin_edges(float(x.min()), float(x.max()))
+    which = assign_design_bins(x, edges)
+    wsum = np.bincount(which, weights=w, minlength=DESIGN_BINS)
+    wysum = np.empty((Y.shape[0], DESIGN_BINS), dtype=np.float64)
+    for i in range(Y.shape[0]):
+        wysum[i] = np.bincount(which, weights=w * Y[i], minlength=DESIGN_BINS)
+    return binned_design_from_sums(edges, wsum, wysum)
+
+
+def design_bin_edges(span_lo: float, span_hi: float) -> np.ndarray:
+    """The fixed design binning over a sample span.
+
+    The edges depend only on the span of the sample positions, so a
+    streaming fold that learns the span in a prologue pass bins every
+    chunk exactly as :func:`make_design` bins the resident array.
+    """
     span = max(span_hi - span_lo, 1e-12)
-    edges = np.linspace(span_lo, span_lo + span, DESIGN_BINS + 1)
-    which = np.clip(
+    return np.linspace(span_lo, span_lo + span, DESIGN_BINS + 1)
+
+
+def assign_design_bins(x: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Bin index of every position in *x* (clipped into range)."""
+    return np.clip(
         np.searchsorted(edges, x, side="right") - 1, 0, DESIGN_BINS - 1
     )
-    wsum = np.bincount(which, weights=w, minlength=DESIGN_BINS)
+
+
+def binned_design_from_sums(
+    edges: np.ndarray, wsum: np.ndarray, wysum: np.ndarray
+) -> BinnedDesign:
+    """Assemble a :class:`BinnedDesign` from full per-bin sums.
+
+    ``wsum``/``wysum`` are length-``DESIGN_BINS`` Σw and per-target
+    Σw·y vectors — the *additive* half of the binned design.  Both
+    :func:`make_design` (sums from one ``bincount`` over the resident
+    array) and :class:`repro.folding.stream.StreamingFold` (sums
+    accumulated chunk by chunk) funnel through here, so the two paths
+    produce the same design by construction once their sums agree.
+    """
     occupied = wsum > 0
     centers = 0.5 * (edges[:-1] + edges[1:])
-    Yb = np.empty((Y.shape[0], int(occupied.sum())), dtype=np.float64)
-    for i in range(Y.shape[0]):
-        wysum = np.bincount(which, weights=w * Y[i], minlength=DESIGN_BINS)
-        Yb[i] = wysum[occupied] / wsum[occupied]
+    Yb = wysum[:, occupied] / wsum[occupied]
     return BinnedDesign(x=centers[occupied], w=wsum[occupied], Y=Yb)
 
 
