@@ -32,6 +32,7 @@ from repro.folding.report import fold_trace
 from repro.memsim.engines import ENGINE_NAMES
 from repro.objects.resolver import resolve_trace
 from repro.pipeline import SessionConfig, run_workload
+from repro.simproc.sampler import SAMPLER_NAMES
 from repro.workloads import (
     HpcgConfig,
     HpcgWorkload,
@@ -122,10 +123,14 @@ def main_run(argv: list[str] | None = None) -> int:
     p.add_argument("--iterations", type=int, default=10)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--engine", choices=list(ENGINE_NAMES), default="analytic")
+    p.add_argument("--sampler", choices=list(SAMPLER_NAMES), default="pebs",
+                   help="sampling backend: Intel PEBS event counters "
+                        "(default) or an ARM SPE-like packet stream")
     p.add_argument("--load-period", type=int, default=10_000)
     p.add_argument("--store-period", type=int, default=10_000)
     p.add_argument("--no-multiplex", action="store_true",
-                   help="assume load+store groups co-schedulable")
+                   help="assume load+store groups co-schedulable "
+                        "(PEBS only; SPE never multiplexes)")
     p.add_argument("-o", "--output", default="run.bsctrace")
     p.add_argument("--trace-version", type=int, choices=list(TRACE_SCHEMA_VERSIONS),
                    default=2, help="trace container version to write")
@@ -152,6 +157,7 @@ def main_run(argv: list[str] | None = None) -> int:
         seed=args.seed,
         engine=args.engine,
         tracer=TracerConfig(
+            sampler=args.sampler,
             load_period=args.load_period,
             store_period=args.store_period,
             multiplex=not args.no_multiplex,

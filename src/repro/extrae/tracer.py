@@ -33,6 +33,8 @@ from repro.simproc.isa import KernelBatch
 from repro.simproc.machine import BatchExecution, Machine
 from repro.simproc.multiplex import MultiplexSchedule
 from repro.simproc.pebs import PebsConfig, PebsSampler
+from repro.simproc.sampler import SAMPLER_NAMES, Sampler
+from repro.simproc.spe import SpeConfig, SpeSampler
 from repro.vmem.allocator import Allocator
 from repro.vmem.binimage import BinaryImage
 from repro.vmem.callstack import CallStack, Frame
@@ -48,20 +50,37 @@ class TracerConfig:
     ----------
     alloc_threshold_bytes:
         Minimum allocation size tracked as an individual object.
+    sampler:
+        Sampling backend: ``"pebs"`` (the paper's Intel facility,
+        default) or ``"spe"`` (the ARM SPE-like packet stream,
+        :mod:`repro.simproc.spe`).  The rate/accuracy knobs below
+        apply comparably to both.
     load_period / store_period:
-        PEBS sampling periods (operations per sample).
+        Sampling periods (operations per sample).  PEBS programs one
+        counter per event kind; SPE's single blind stream uses
+        ``load_period`` as its interval and ``store_period`` is
+        ignored.
     randomization:
-        PEBS period randomization factor.
+        Period randomization factor (PEBS: uniform float gap jitter;
+        SPE: uniform integer interval perturbation).
     latency_threshold_cycles:
-        Load-latency ``ldlat``-style threshold (0 = record all).
+        Minimum recorded latency (0 = record all).  PEBS applies it
+        in hardware to loads only (the load-latency ``ldlat``
+        threshold); SPE applies it in software to every packet,
+        stores included.
     sample_stores:
-        Whether a store event group is programmed at all.
+        Whether stores are sampled at all (PEBS: a store event group
+        is programmed; SPE: store packets survive the packet filter).
     multiplex:
         Rotate load/store groups in time (the paper's single-run mode);
         with ``False`` and ``sample_stores`` both groups are presumed
-        co-schedulable and always active.
+        co-schedulable and always active.  SPE never multiplexes —
+        loads and stores share one hardware stream.
     mpx_quantum_ns:
         Multiplexing rotation quantum.
+    spe_remote_fraction:
+        SPE backend only: fraction of cache lines homed on the remote
+        socket (drives the remote-access data-source codes).
     self_check:
         Run the trace validator (:mod:`repro.validate.invariants`) at
         :meth:`Tracer.finalize` and raise on any error-severity
@@ -70,6 +89,7 @@ class TracerConfig:
     """
 
     alloc_threshold_bytes: int = 1024
+    sampler: str = "pebs"
     load_period: int = 10_000
     store_period: int = 10_000
     randomization: float = 0.10
@@ -77,7 +97,21 @@ class TracerConfig:
     sample_stores: bool = True
     multiplex: bool = True
     mpx_quantum_ns: float = 200_000.0
+    spe_remote_fraction: float = 0.08
     self_check: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sampler not in SAMPLER_NAMES:
+            raise ValueError(
+                f"sampler must be one of {', '.join(SAMPLER_NAMES)}, "
+                f"got {self.sampler!r}"
+            )
+
+    def build_sampler(self, rng) -> Sampler:
+        """The configured sampling backend."""
+        if self.sampler == "spe":
+            return self.build_spe(rng)
+        return self.build_pebs(rng)
 
     def build_pebs(self, rng) -> PebsSampler:
         """PEBS sampler implied by this configuration."""
@@ -90,11 +124,28 @@ class TracerConfig:
             configs[MemOp.STORE] = PebsConfig(self.store_period, self.randomization)
         return PebsSampler(configs, rng)
 
+    def build_spe(self, rng) -> SpeSampler:
+        """SPE-like sampler implied by this configuration."""
+        return SpeSampler(
+            SpeConfig(
+                period=self.load_period,
+                randomization=self.randomization,
+                min_latency_cycles=self.latency_threshold_cycles,
+                sample_stores=self.sample_stores,
+                remote_fraction=self.spe_remote_fraction,
+            ),
+            rng,
+        )
+
     def build_multiplex(self) -> MultiplexSchedule:
         """Multiplex schedule implied by this configuration."""
+        ops = {MemOp.LOAD} | ({MemOp.STORE} if self.sample_stores else set())
+        if self.sampler == "spe":
+            # SPE's single blind packet stream captures every kind at
+            # once; there are no event groups to rotate.
+            return MultiplexSchedule.single(ops)
         if self.sample_stores and self.multiplex:
             return MultiplexSchedule.loads_and_stores(self.mpx_quantum_ns)
-        ops = {MemOp.LOAD} | ({MemOp.STORE} if self.sample_stores else set())
         return MultiplexSchedule.single(ops)
 
 
@@ -242,6 +293,11 @@ class Tracer:
                 "total_instructions": self.machine.counters.instructions,
             }
         )
+        if self.machine.sampler is not None:
+            # Backend identification (empty for the default PEBS
+            # backend, keeping pre-existing traces digest-identical;
+            # absence of a "sampler" key means PEBS).
+            self.trace.metadata.update(self.machine.sampler.metadata())
         self._finalized = True
         if self.config.self_check:
             # Imported here: repro.validate sits above extrae in the

@@ -35,9 +35,16 @@ class DataSource(IntEnum):
     L2 = 3
     L3 = 4
     DRAM = 5
-    #: Data served from a remote socket's cache or memory.  Unused by
-    #: the single-socket model but kept for trace-format completeness.
+    #: Data served from a remote socket's cache or memory, without
+    #: distinguishing which.  Unused by the single-socket model but
+    #: kept for trace-format completeness (legacy PEBS encoding).
     REMOTE = 6
+    #: Served by the remote socket's last-level cache.  ARM SPE packet
+    #: data sources distinguish remote cache from remote memory; the
+    #: SPE backend's NUMA model emits these two codes.
+    REMOTE_CACHE = 7
+    #: Served by the remote socket's memory.
+    REMOTE_DRAM = 8
 
     @property
     def pretty(self) -> str:
@@ -48,7 +55,18 @@ class DataSource(IntEnum):
             DataSource.L3: "L3",
             DataSource.DRAM: "DRAM",
             DataSource.REMOTE: "remote",
+            DataSource.REMOTE_CACHE: "remote-cache",
+            DataSource.REMOTE_DRAM: "remote-DRAM",
         }[self]
+
+    @property
+    def is_remote(self) -> bool:
+        """Whether the access crossed the socket interconnect."""
+        return self in (
+            DataSource.REMOTE,
+            DataSource.REMOTE_CACHE,
+            DataSource.REMOTE_DRAM,
+        )
 
 
 @dataclass(frozen=True)
@@ -72,6 +90,8 @@ class LatencyModel:
             DataSource.L3: 38.0,
             DataSource.DRAM: 210.0,
             DataSource.REMOTE: 310.0,
+            DataSource.REMOTE_CACHE: 95.0,
+            DataSource.REMOTE_DRAM: 315.0,
         }
     )
     jitter: float = 0.10

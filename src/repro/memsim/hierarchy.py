@@ -63,16 +63,24 @@ class HierarchyConfig:
         if any(lv.line_size != line for lv in self.levels):
             raise ValueError("all levels must share one line size")
 
-    def legal_sources(self) -> frozenset[DataSource]:
+    def legal_sources(self, *, remote: bool = False) -> frozenset[DataSource]:
         """Data sources any engine over this hierarchy may emit.
 
         Cache-level hits up to the configured depth, plus the line-fill
-        buffer and DRAM.  ``REMOTE`` is never legal in the single-socket
-        model — the trace validator treats samples outside this set as
-        corruption.
+        buffer and DRAM.  With ``remote`` (the SPE backend's NUMA
+        model) the remote-access codes are additionally legal; in the
+        default single-socket PEBS model they are not — the trace
+        validator treats samples outside this set as corruption.
         """
         hits = (DataSource.L1, DataSource.L2, DataSource.L3)[: len(self.levels)]
-        return frozenset(hits) | {DataSource.LFB, DataSource.DRAM}
+        legal = frozenset(hits) | {DataSource.LFB, DataSource.DRAM}
+        if remote:
+            legal |= {
+                DataSource.REMOTE,
+                DataSource.REMOTE_CACHE,
+                DataSource.REMOTE_DRAM,
+            }
+        return legal
 
 
 @dataclass

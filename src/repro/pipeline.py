@@ -93,10 +93,17 @@ class Session:
         engine = make_engine(
             self.config.engine, self.config.hierarchy, rng=self.streams.get("memsim")
         )
+        # The default backend keeps its historical stream name ("pebs")
+        # so existing seeds reproduce bit-identical traces; any other
+        # backend draws from its own named substream.
+        backend = self.config.tracer.sampler
+        sampler_rng = self.streams.get(
+            "pebs" if backend == "pebs" else f"sampler.{backend}"
+        )
         self.machine = Machine(
             engine=engine,
             calibration=self.config.calibration,
-            pebs=self.config.tracer.build_pebs(self.streams.get("pebs")),
+            sampler=self.config.tracer.build_sampler(sampler_rng),
             multiplex=self.config.tracer.build_multiplex(),
             noise=self.config.noise,
             noise_rng=self.streams.get("noise"),
@@ -116,6 +123,7 @@ def run_workload(
     config: SessionConfig | None = None,
     *,
     validate: bool = False,
+    sampler: str | None = None,
 ) -> Trace:
     """One-shot: build a session and trace *workload*.
 
@@ -125,7 +133,14 @@ def run_workload(
     :class:`~repro.validate.invariants.ValidationError` is raised on
     any violation — equivalent to setting ``TracerConfig.self_check``
     but decided at the call site.
+
+    *sampler* overrides the sampling backend of the session's tracer
+    configuration (``"pebs"`` or ``"spe"``) without spelling out a
+    full :class:`~repro.extrae.tracer.TracerConfig`.
     """
+    config = config or SessionConfig()
+    if sampler is not None and sampler != config.tracer.sampler:
+        config = replace(config, tracer=replace(config.tracer, sampler=sampler))
     session = Session(config)
     trace = session.run(workload)
     if validate:

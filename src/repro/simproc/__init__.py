@@ -5,10 +5,12 @@ executes :class:`~repro.simproc.isa.KernelBatch` descriptions (access
 patterns plus instruction/branch counts and a memory-level-parallelism
 factor), advancing a cycle clock through a calibrated in-order cost
 model, maintaining hardware-style counters, and producing precise
-event-based samples of memory operations through
-:class:`~repro.simproc.pebs.PebsSampler` — optionally multiplexing load
-and store event groups in time like the paper's single-run setup
-(:mod:`repro.simproc.multiplex`).
+event-based samples of memory operations through a pluggable sampling
+backend (:mod:`repro.simproc.sampler`): the paper's PEBS facility
+(:class:`~repro.simproc.pebs.PebsSampler`) or an ARM SPE-like packet
+stream (:class:`~repro.simproc.spe.SpeSampler`) — optionally
+multiplexing load and store event groups in time like the paper's
+single-run setup (:mod:`repro.simproc.multiplex`).
 
 Calibration constants (and the published numbers they target) live in
 :mod:`repro.simproc.calibration`.
@@ -21,10 +23,13 @@ from repro.simproc.machine import BatchExecution, Machine, SampleBlock
 from repro.simproc.multiplex import EventGroup, MultiplexSchedule
 from repro.simproc.noise import NoiseModel
 from repro.simproc.pebs import PebsConfig, PebsSampler
+from repro.simproc.sampler import DEFAULT_SAMPLER, SAMPLER_NAMES, Sampler
+from repro.simproc.spe import SpeConfig, SpeSampler
 
 __all__ = [
     "BatchExecution",
     "CounterSet",
+    "DEFAULT_SAMPLER",
     "EventGroup",
     "KernelBatch",
     "Machine",
@@ -34,5 +39,9 @@ __all__ = [
     "PAPER_TARGETS",
     "PebsConfig",
     "PebsSampler",
+    "SAMPLER_NAMES",
+    "Sampler",
     "SampleBlock",
+    "SpeConfig",
+    "SpeSampler",
 ]

@@ -42,7 +42,7 @@ from repro.simproc.counters import CounterSet
 from repro.simproc.isa import KernelBatch
 from repro.simproc.multiplex import MultiplexSchedule
 from repro.simproc.noise import NoiseModel
-from repro.simproc.pebs import PebsSampler
+from repro.simproc.sampler import Sampler
 
 __all__ = ["BatchExecution", "Machine", "SampleBlock"]
 
@@ -128,7 +128,9 @@ class Machine:
     calibration:
         Clock/pipeline constants.
     pebs:
-        PEBS sampler, or ``None`` to run without sampling.
+        Sampling backend (any :class:`~repro.simproc.sampler.Sampler`,
+        historically a PEBS sampler — ``sampler`` is the preferred
+        alias), or ``None`` to run without sampling.
     multiplex:
         Event-group rotation; ``None`` keeps every sample.
     """
@@ -137,18 +139,21 @@ class Machine:
         self,
         engine=None,
         calibration: MachineCalibration | None = None,
-        pebs: PebsSampler | None = None,
+        pebs: Sampler | None = None,
         multiplex: MultiplexSchedule | None = None,
         noise: "NoiseModel | None" = None,
         noise_rng=None,
+        sampler: Sampler | None = None,
     ) -> None:
         if engine is None:
             engine = PreciseEngine()
         elif isinstance(engine, str):
             engine = make_engine(engine)
+        if pebs is not None and sampler is not None:
+            raise ValueError("pass either sampler= or its alias pebs=, not both")
         self.engine = engine
         self.calibration = calibration or MachineCalibration()
-        self.pebs = pebs
+        self.sampler = sampler if sampler is not None else pebs
         self.multiplex = multiplex
         self.noise = noise
         self._noise_rng = noise_rng or np.random.default_rng(0)
@@ -160,6 +165,11 @@ class Machine:
         self.noise_ns_injected = 0.0
 
     # ------------------------------------------------------------------
+    @property
+    def pebs(self) -> Sampler | None:
+        """Backward-compatible alias for :attr:`sampler`."""
+        return self.sampler
+
     @property
     def time_ns(self) -> float:
         """Wall-clock position of the machine."""
@@ -177,8 +187,8 @@ class Machine:
         tlb_misses = 0
         for pattern in batch.patterns:
             offsets = (
-                self.pebs.take(pattern.op, pattern.count)
-                if self.pebs is not None
+                self.sampler.take(pattern.op, pattern.count)
+                if self.sampler is not None
                 else np.empty(0, dtype=np.int64)
             )
             result: PatternResult = self.engine.run_pattern(pattern, offsets)
@@ -252,6 +262,15 @@ class Machine:
             times = t0 + frac * span
             sources = result.sample_sources
             latencies = result.sample_latencies
+            addresses = None
+            if self.sampler is not None and self.sampler.post_classifies:
+                # Backends that rewrite samples (SPE's remote-access
+                # classification) need addresses before filtering; the
+                # default path computes them only for survivors.
+                addresses = pattern.addresses_at(offsets)
+                sources, latencies = self.sampler.classify(
+                    pattern.op, addresses, sources, latencies
+                )
             keep = None
             if self.multiplex is not None:
                 active = self.multiplex.active_mask(pattern.op, times)
@@ -259,8 +278,8 @@ class Machine:
                     active.size - np.count_nonzero(active)
                 )
                 keep = active
-            if self.pebs is not None:
-                passed = self.pebs.latency_filter(pattern.op, latencies)
+            if self.sampler is not None:
+                passed = self.sampler.latency_filter(pattern.op, latencies)
                 dropped = ~passed if keep is None else keep & ~passed
                 self.samples_dropped_latency += int(np.count_nonzero(dropped))
                 keep = passed if keep is None else keep & passed
@@ -272,6 +291,8 @@ class Machine:
                 times = times[keep]
                 sources = sources[keep]
                 latencies = latencies[keep]
+                if addresses is not None:
+                    addresses = addresses[keep]
             # All nine counters interpolate in one 2-D broadcast; each
             # row of the C-ordered result is one counter's column.
             interp = before_vec[:, None] + delta_vec[:, None] * frac[None, :]
@@ -280,7 +301,11 @@ class Machine:
                 op=pattern.op,
                 label=batch.label,
                 offsets=offsets,
-                addresses=pattern.addresses_at(offsets),
+                addresses=(
+                    addresses
+                    if addresses is not None
+                    else pattern.addresses_at(offsets)
+                ),
                 sources=sources,
                 latencies=latencies,
                 times_ns=times,

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.memsim.patterns import MemOp
+from repro.simproc.sampler import Sampler
 
 __all__ = ["PebsConfig", "PebsSampler"]
 
@@ -59,7 +60,7 @@ class PebsConfig:
             raise ValueError("latency threshold must be non-negative")
 
 
-class PebsSampler:
+class PebsSampler(Sampler):
     """Stateful per-event-kind sample-offset generator.
 
     Parameters
@@ -70,6 +71,8 @@ class PebsSampler:
     rng:
         Period-randomization stream.
     """
+
+    name = "pebs"
 
     def __init__(
         self,

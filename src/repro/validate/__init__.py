@@ -21,8 +21,10 @@ to regenerate or check the golden fixtures.
 
 from repro.validate.diff import Divergence, TraceDiff, diff_traces
 from repro.validate.golden import (
+    GOLDEN_SAMPLERS,
     GOLDEN_SEED,
     check_goldens,
+    golden_key,
     golden_trace,
     inject_perturbation,
     write_goldens,
@@ -36,6 +38,7 @@ from repro.validate.invariants import (
 
 __all__ = [
     "Divergence",
+    "GOLDEN_SAMPLERS",
     "GOLDEN_SEED",
     "TraceDiff",
     "ValidationError",
@@ -43,6 +46,7 @@ __all__ = [
     "ValidationReport",
     "check_goldens",
     "diff_traces",
+    "golden_key",
     "golden_trace",
     "inject_perturbation",
     "validate_trace",

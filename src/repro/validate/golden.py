@@ -32,8 +32,10 @@ from repro.memsim.engines import ENGINE_NAMES
 from repro.validate.diff import TraceDiff, diff_traces
 
 __all__ = [
+    "GOLDEN_SAMPLERS",
     "GOLDEN_SEED",
     "check_goldens",
+    "golden_key",
     "golden_path",
     "golden_trace",
     "inject_perturbation",
@@ -44,19 +46,23 @@ __all__ = [
 #: committed fixtures derive from it.
 GOLDEN_SEED = 7
 
+#: Sampling backends with committed per-engine fixtures.
+GOLDEN_SAMPLERS = ("pebs", "spe")
+
 #: Relative tolerance for float columns when checking goldens.  Zero
 #: drift is expected on one platform; the tiny allowance absorbs
 #: cross-platform libm differences in the latency-jitter path.
 GOLDEN_RTOL = 1e-9
 
 
-def _golden_config(engine: str):
+def _golden_config(engine: str, sampler: str = "pebs"):
     from repro.pipeline import SessionConfig
 
     return SessionConfig(
         seed=GOLDEN_SEED,
         engine=engine,
         tracer=TracerConfig(
+            sampler=sampler,
             load_period=64,
             store_period=64,
             randomization=0.10,
@@ -70,54 +76,79 @@ def _golden_workload():
     return StreamWorkload(StreamConfig(n=2048, iterations=3, blocks=2))
 
 
-def golden_trace(engine: str) -> Trace:
-    """Freshly generate the golden trace for *engine*."""
+def golden_trace(engine: str, sampler: str = "pebs") -> Trace:
+    """Freshly generate the golden trace for *engine* × *sampler*."""
     from repro.pipeline import run_workload
 
-    return run_workload(_golden_workload(), _golden_config(engine))
+    return run_workload(_golden_workload(), _golden_config(engine, sampler))
 
 
-def golden_path(directory: str | Path, engine: str) -> Path:
-    return Path(directory) / f"stream_{engine}.bsctrace"
+def golden_path(
+    directory: str | Path, engine: str, sampler: str = "pebs"
+) -> Path:
+    """Fixture file for one engine × sampler combination.
+
+    The default PEBS backend keeps its historical unsuffixed filename
+    (``stream_<engine>.bsctrace``); other backends are suffixed.
+    """
+    suffix = "" if sampler == "pebs" else f"_{sampler}"
+    return Path(directory) / f"stream_{engine}{suffix}.bsctrace"
+
+
+def golden_key(engine: str, sampler: str = "pebs") -> str:
+    """Result-dict key for one combination (engine alone for PEBS)."""
+    return engine if sampler == "pebs" else f"{engine}+{sampler}"
 
 
 def write_goldens(
-    directory: str | Path, engines: tuple[str, ...] = ENGINE_NAMES
+    directory: str | Path,
+    engines: tuple[str, ...] = ENGINE_NAMES,
+    samplers: tuple[str, ...] = GOLDEN_SAMPLERS,
 ) -> list[Path]:
-    """(Re)generate and write the golden fixture per engine."""
+    """(Re)generate and write the golden fixture per engine × sampler."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     return [
-        golden_trace(engine).save(golden_path(directory, engine))
+        golden_trace(engine, sampler).save(
+            golden_path(directory, engine, sampler)
+        )
         for engine in engines
+        for sampler in samplers
     ]
 
 
 def check_goldens(
     directory: str | Path,
     engines: tuple[str, ...] = ENGINE_NAMES,
+    samplers: tuple[str, ...] = GOLDEN_SAMPLERS,
     *,
     rtol: float = GOLDEN_RTOL,
     atol: float = 0.0,
 ) -> dict[str, TraceDiff]:
-    """Regenerate each engine's trace and diff against the committed file.
+    """Regenerate each combination's trace and diff against the file.
 
-    Returns ``{engine: TraceDiff}``; a missing fixture file is reported
-    as a diff with a single ``file.missing`` divergence.
+    Returns ``{golden_key(engine, sampler): TraceDiff}``; a missing
+    fixture file is reported as a diff with a single ``file.missing``
+    divergence.
     """
     from repro.validate.diff import Divergence
 
     results: dict[str, TraceDiff] = {}
     for engine in engines:
-        path = golden_path(directory, engine)
-        if not path.exists():
-            results[engine] = TraceDiff(
-                [Divergence("file", "missing", -1, str(path), None)]
+        for sampler in samplers:
+            key = golden_key(engine, sampler)
+            path = golden_path(directory, engine, sampler)
+            if not path.exists():
+                results[key] = TraceDiff(
+                    [Divergence("file", "missing", -1, str(path), None)]
+                )
+                continue
+            results[key] = diff_traces(
+                Trace.load(path),
+                golden_trace(engine, sampler),
+                rtol=rtol,
+                atol=atol,
             )
-            continue
-        results[engine] = diff_traces(
-            Trace.load(path), golden_trace(engine), rtol=rtol, atol=atol
-        )
     return results
 
 
@@ -161,20 +192,24 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("--engines", nargs="*", default=list(ENGINE_NAMES),
                    choices=list(ENGINE_NAMES))
+    p.add_argument("--samplers", nargs="*", default=list(GOLDEN_SAMPLERS),
+                   choices=list(GOLDEN_SAMPLERS))
     args = p.parse_args(argv)
 
     if args.check:
         drift = False
-        for engine, diff in check_goldens(
-            args.directory, tuple(args.engines)
+        for key, diff in check_goldens(
+            args.directory, tuple(args.engines), tuple(args.samplers)
         ).items():
             status = "ok" if diff.identical else "DRIFT"
-            print(f"{engine}: {status}")
+            print(f"{key}: {status}")
             if not diff.identical:
                 drift = True
                 print(diff.summary())
         return 1 if drift else 0
-    for path in write_goldens(args.directory, tuple(args.engines)):
+    for path in write_goldens(
+        args.directory, tuple(args.engines), tuple(args.samplers)
+    ):
         print(f"wrote {path}")
     return 0
 

@@ -233,7 +233,10 @@ def _check_addresses(
 
 
 def _check_sources(
-    trace: Trace, out: _Collector, hierarchy: HierarchyConfig | None
+    trace: Trace,
+    out: _Collector,
+    hierarchy: HierarchyConfig | None,
+    sampler: str,
 ) -> None:
     out.ran("sources")
     src = trace.sample_table().source
@@ -249,14 +252,20 @@ def _check_sources(
             count=int(np.isin(src, unknown).sum()),
         )
     if hierarchy is not None:
-        legal = {int(s) for s in hierarchy.legal_sources()}
+        # Legality is backend-aware: the SPE backend's NUMA model may
+        # emit remote-access codes; the single-socket PEBS model never
+        # does.  Unknown codes fail above regardless of backend.
+        legal = {
+            int(s) for s in hierarchy.legal_sources(remote=sampler == "spe")
+        }
         illegal = [int(v) for v in values if int(v) in known and int(v) not in legal]
         if illegal:
             pretty = [DataSource(v).pretty for v in illegal]
             out.error(
                 "sources",
                 f"sources {pretty} are illegal for a "
-                f"{len(hierarchy.levels)}-level hierarchy",
+                f"{len(hierarchy.levels)}-level hierarchy "
+                f"({sampler} backend)",
                 count=int(np.isin(src, illegal).sum()),
             )
 
@@ -359,6 +368,7 @@ def validate_trace(
     *,
     fold: bool = True,
     min_matched_fraction: float = 0.05,
+    sampler: str | None = None,
 ) -> ValidationReport:
     """Run every applicable invariant check over *trace*.
 
@@ -377,13 +387,21 @@ def validate_trace(
     min_matched_fraction:
         Below this fraction of samples matched to known object ranges
         the ``addresses`` check emits a warning.
+    sampler:
+        Sampling backend the trace was recorded with, governing which
+        data sources are legal (the SPE backend's remote-access codes
+        pass; they are corruption in a PEBS trace).  Default: the
+        trace's own ``sampler`` metadata, falling back to PEBS —
+        traces written before the sampler abstraction carry no key.
     """
+    if sampler is None:
+        sampler = str(trace.metadata.get("sampler", "pebs"))
     out = _Collector()
     _check_event_times(trace, out)
     _check_sample_times(trace, out)
     _check_regions(trace, out)
     _check_addresses(trace, out, min_matched_fraction)
-    _check_sources(trace, out, hierarchy)
+    _check_sources(trace, out, hierarchy, sampler)
     _check_intern_tables(trace, out)
     _check_objects(trace, out)
     if fold:

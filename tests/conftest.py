@@ -10,7 +10,39 @@ from repro.analysis.figures import build_figure1
 from repro.extrae.tracer import TracerConfig
 from repro.folding.report import fold_trace
 from repro.pipeline import Session, SessionConfig
+from repro.simproc.sampler import SAMPLER_NAMES
 from repro.workloads import HpcgConfig, HpcgWorkload
+
+#: Sampling backends the cross-backend differential matrix runs over.
+SAMPLER_BACKENDS = tuple(SAMPLER_NAMES)
+
+
+@pytest.fixture(params=SAMPLER_BACKENDS)
+def sampler_backend(request):
+    """Parametrizes a test over every sampling backend (PEBS and SPE).
+
+    The engine×workload digest/equivalence suites take this fixture so
+    each downstream layer (validation, TraceIndex, folding, streaming
+    fold, rank spill/aggregation) is exercised against both sampling
+    semantics instead of silently hard-coding PEBS assumptions.
+    """
+    return request.param
+
+
+def sampler_session_config(
+    sampler, engine="analytic", seed=5, period=128, **tracer_kwargs
+):
+    """Session configuration for the cross-backend matrix suites."""
+    return SessionConfig(
+        seed=seed,
+        engine=engine,
+        tracer=TracerConfig(
+            sampler=sampler,
+            load_period=period,
+            store_period=period,
+            **tracer_kwargs,
+        ),
+    )
 
 
 def small_hpcg_config(n_iterations=4, **kwargs):

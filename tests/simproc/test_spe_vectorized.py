@@ -1,0 +1,262 @@
+"""Vectorized SPE packet emission ≡ the scalar reference loop.
+
+Mirrors ``test_pebs_vectorized.py`` for the SPE backend: the chunked
+``cumsum`` emission must consume the RNG stream exactly like a
+one-gap-at-a-time loop, the shared blind countdown must span operation
+kinds, and the software packet post-filter must behave identically
+vectorized and per element.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim.datasource import DataSource
+from repro.memsim.patterns import MemOp
+from repro.simproc.spe import SpeConfig, SpeSampler, line_home_hash
+
+
+class ScalarReference(SpeSampler):
+    """The definitional implementation: one gap draw per packet."""
+
+    def take(self, op, n_ops):
+        if n_ops <= 0:
+            return np.empty(0, dtype=np.int64)
+        offsets = []
+        pos = self._countdown
+        while pos < n_ops:
+            offsets.append(int(pos))
+            pos += self._gap()
+        self._countdown = pos - n_ops
+        offsets = np.asarray(offsets, dtype=np.int64)
+        self.packets_generated += offsets.size
+        if op not in self.ops:
+            self.packets_discarded_kind += offsets.size
+            return np.empty(0, dtype=np.int64)
+        self.samples_taken[op] += offsets.size
+        return offsets
+
+
+def make_pair(period, randomization, seed=42, **kwargs):
+    cfg = SpeConfig(period=period, randomization=randomization, **kwargs)
+    return (
+        SpeSampler(cfg, rng=np.random.default_rng(seed)),
+        ScalarReference(cfg, rng=np.random.default_rng(seed)),
+    )
+
+
+class TestConfig:
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            SpeConfig(period=0)
+
+    def test_rejects_bad_randomization(self):
+        with pytest.raises(ValueError):
+            SpeConfig(randomization=1.0)
+        with pytest.raises(ValueError):
+            SpeConfig(randomization=-0.1)
+
+    def test_rejects_negative_min_latency(self):
+        with pytest.raises(ValueError):
+            SpeConfig(min_latency_cycles=-1)
+
+    def test_rejects_bad_remote_fraction_and_scales(self):
+        with pytest.raises(ValueError):
+            SpeConfig(remote_fraction=1.5)
+        with pytest.raises(ValueError):
+            SpeConfig(remote_cache_scale=0.5)
+
+    def test_jitter_is_rounded_integer(self):
+        assert SpeConfig(period=100, randomization=0.1).jitter == 10
+        assert SpeConfig(period=7, randomization=0.3).jitter == 2
+        assert SpeConfig(period=64, randomization=0.0).jitter == 0
+
+
+class TestVectorizedEquivalence:
+    @pytest.mark.parametrize("period", [1, 7, 64, 10_000])
+    @pytest.mark.parametrize("randomization", [0.0, 0.05, 0.1, 0.3, 0.9])
+    def test_offsets_match_scalar_loop(self, period, randomization):
+        fast, ref = make_pair(period, randomization)
+        batch_rng = np.random.default_rng(7)
+        for _ in range(40):
+            n_ops = int(batch_rng.integers(0, 5 * period + 50))
+            got = fast.take(MemOp.LOAD, n_ops)
+            want = ref.take(MemOp.LOAD, n_ops)
+            np.testing.assert_array_equal(got, want)
+            assert got.dtype == np.int64
+            assert fast._countdown == ref._countdown
+        assert fast.samples_taken == ref.samples_taken
+        assert fast.packets_generated == ref.packets_generated
+
+    @given(
+        period=st.integers(1, 500),
+        randomization=st.sampled_from([0.0, 0.05, 0.1, 0.3, 0.9]),
+        seed=st.integers(0, 2**31),
+        batches=st.lists(
+            st.tuples(
+                st.sampled_from([MemOp.LOAD, MemOp.STORE]),
+                st.integers(0, 2000),
+            ),
+            max_size=12,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_equivalence_property(self, period, randomization, seed, batches):
+        """Offsets, countdown and all packet counters match the scalar
+        loop over arbitrary kind/batch interleavings."""
+        fast, ref = make_pair(period, randomization, seed=seed)
+        for op, n_ops in batches:
+            np.testing.assert_array_equal(fast.take(op, n_ops), ref.take(op, n_ops))
+            assert fast._countdown == ref._countdown
+        assert fast.samples_taken == ref.samples_taken
+        assert fast.packets_discarded_kind == ref.packets_discarded_kind
+
+
+class TestIntervalInvariants:
+    @given(
+        period=st.integers(1, 300),
+        randomization=st.sampled_from([0.0, 0.1, 0.5, 0.9]),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gaps_within_jitter_bounds(self, period, randomization, seed):
+        cfg = SpeConfig(period=period, randomization=randomization)
+        s = SpeSampler(cfg, rng=np.random.default_rng(seed))
+        offsets = s.take(MemOp.LOAD, 50 * period + 50)
+        lo = max(period - cfg.jitter, 1)
+        hi = period + cfg.jitter
+        assert offsets.size > 0
+        assert offsets[0] >= 0
+        gaps = np.diff(offsets)
+        assert gaps.size == 0 or (gaps.min() >= lo and gaps.max() <= hi)
+
+    def test_offsets_sorted_and_in_range(self):
+        s = SpeSampler(SpeConfig(period=3, randomization=0.9),
+                       rng=np.random.default_rng(1))
+        for n_ops in (1, 2, 5, 17, 100):
+            offsets = s.take(MemOp.LOAD, n_ops)
+            if offsets.size:
+                assert offsets[0] >= 0
+                assert offsets[-1] < n_ops
+                assert np.all(np.diff(offsets) >= 1)
+
+    def test_deterministic_period_spacing(self):
+        s = SpeSampler(SpeConfig(period=100, randomization=0.0),
+                       rng=np.random.default_rng(0))
+        first = s.take(MemOp.LOAD, 1000)
+        np.testing.assert_array_equal(first, np.arange(100, 1000, 100))
+
+
+class TestSharedCountdown:
+    """One blind stream spans all kinds — the defining SPE contrast."""
+
+    def test_kinds_share_the_stream(self):
+        """A load/store-interleaved run lands packets at the same
+        global stream positions as a load-only run: the countdown is
+        blind to kind."""
+        mixed = SpeSampler(SpeConfig(period=50, randomization=0.2),
+                           rng=np.random.default_rng(3))
+        blind = SpeSampler(SpeConfig(period=50, randomization=0.2),
+                           rng=np.random.default_rng(3))
+        global_mixed, base = [], 0
+        for op, n in [(MemOp.LOAD, 333), (MemOp.STORE, 777),
+                      (MemOp.LOAD, 5), (MemOp.STORE, 1000)]:
+            global_mixed.append(mixed.take(op, n) + base)
+            base += n
+        np.testing.assert_array_equal(
+            np.concatenate(global_mixed), blind.take(MemOp.LOAD, base)
+        )
+
+    def test_disabled_stores_still_advance_the_stream(self):
+        """``sample_stores=False`` discards store packets in software;
+        the interval counter keeps running through them."""
+        s = SpeSampler(SpeConfig(period=100, randomization=0.0,
+                                 sample_stores=False),
+                       rng=np.random.default_rng(0))
+        assert s.take(MemOp.STORE, 250).size == 0
+        assert s.packets_discarded_kind == 2  # packets at 100, 200
+        # countdown carried: next packet at global 300 -> local 50
+        np.testing.assert_array_equal(s.take(MemOp.LOAD, 250), [50, 150])
+
+    def test_store_sample_ratio_tracks_stream_share(self):
+        """Over a balanced load/store stream both kinds are sampled in
+        proportion to their share of operations."""
+        s = SpeSampler(SpeConfig(period=20, randomization=0.1),
+                       rng=np.random.default_rng(9))
+        for _ in range(400):
+            s.take(MemOp.LOAD, 100)
+            s.take(MemOp.STORE, 100)
+        loads = s.samples_taken[MemOp.LOAD]
+        stores = s.samples_taken[MemOp.STORE]
+        assert loads > 0 and stores > 0
+        assert abs(stores - loads) / (loads + stores) < 0.1
+        assert s.expected_rate(MemOp.STORE) == s.expected_rate(MemOp.LOAD)
+
+
+class TestPacketPostFilter:
+    @given(
+        min_latency=st.floats(0.0, 400.0),
+        latencies=st.lists(st.floats(0.0, 500.0), max_size=64),
+        op=st.sampled_from([MemOp.LOAD, MemOp.STORE]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_vectorized_filter_matches_scalar(self, min_latency, latencies, op):
+        s = SpeSampler(SpeConfig(min_latency_cycles=min_latency))
+        lat = np.asarray(latencies, dtype=np.float64)
+        keep = s.latency_filter(op, lat)
+        want = [min_latency <= 0 or v >= min_latency for v in latencies]
+        np.testing.assert_array_equal(keep, np.asarray(want, dtype=bool))
+
+    def test_filter_applies_to_stores_too(self):
+        """No hardware ldlat: the min-latency cut hits every kind."""
+        s = SpeSampler(SpeConfig(min_latency_cycles=50.0))
+        lat = np.array([10.0, 50.0, 300.0])
+        for op in (MemOp.LOAD, MemOp.STORE):
+            np.testing.assert_array_equal(
+                s.latency_filter(op, lat), [False, True, True]
+            )
+
+
+class TestNumaClassification:
+    def test_hash_is_line_granular_and_deterministic(self):
+        addrs = np.array([0, 1, 63, 64, 128], dtype=np.uint64)
+        h = line_home_hash(addrs)
+        assert h[0] == h[1] == h[2]  # same 64B line
+        assert h[0] != h[3]
+        np.testing.assert_array_equal(h, line_home_hash(addrs))
+
+    def test_zero_fraction_is_identity(self):
+        s = SpeSampler(SpeConfig(remote_fraction=0.0))
+        assert not s.post_classifies
+        sources = np.array([int(DataSource.DRAM)] * 4)
+        latencies = np.array([300.0] * 4)
+        out_s, out_l = s.classify(
+            MemOp.LOAD, np.arange(4, dtype=np.uint64) * 64, sources, latencies
+        )
+        assert out_s is sources and out_l is latencies
+
+    def test_full_fraction_remaps_l3_and_dram_only(self):
+        s = SpeSampler(SpeConfig(remote_fraction=1.0))
+        assert s.post_classifies
+        sources = np.array([int(DataSource.L1), int(DataSource.L3),
+                            int(DataSource.DRAM)])
+        latencies = np.array([4.0, 40.0, 300.0])
+        out_s, out_l = s.classify(
+            MemOp.LOAD, np.arange(3, dtype=np.uint64) * 64, sources, latencies
+        )
+        assert out_s[0] == int(DataSource.L1)  # core-local levels untouched
+        assert out_s[1] == int(DataSource.REMOTE_CACHE)
+        assert out_s[2] == int(DataSource.REMOTE_DRAM)
+        assert out_l[0] == 4.0
+        assert out_l[1] == pytest.approx(40.0 * s.config.remote_cache_scale)
+        assert out_l[2] == pytest.approx(300.0 * s.config.remote_dram_scale)
+
+    def test_fraction_controls_remote_share(self):
+        s = SpeSampler(SpeConfig(remote_fraction=0.25))
+        n = 20_000
+        addrs = np.arange(n, dtype=np.uint64) * 64
+        sources = np.full(n, int(DataSource.DRAM))
+        out_s, _ = s.classify(MemOp.LOAD, addrs, sources, np.full(n, 300.0))
+        share = np.count_nonzero(out_s == int(DataSource.REMOTE_DRAM)) / n
+        assert share == pytest.approx(0.25, abs=0.02)

@@ -14,7 +14,7 @@ from repro.validate import (
     validate_trace,
     write_goldens,
 )
-from repro.validate.golden import golden_path
+from repro.validate.golden import GOLDEN_SAMPLERS, golden_key, golden_path
 
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
 
@@ -94,31 +94,39 @@ class TestDiffer:
 
 
 class TestGoldenFixtures:
+    @pytest.mark.parametrize("sampler", GOLDEN_SAMPLERS)
     @pytest.mark.parametrize("engine", ENGINE_NAMES)
-    def test_committed_fixture_exists(self, engine):
-        assert golden_path(GOLDEN_DIR, engine).exists()
+    def test_committed_fixture_exists(self, engine, sampler):
+        assert golden_path(GOLDEN_DIR, engine, sampler).exists()
 
+    @pytest.mark.parametrize("sampler", GOLDEN_SAMPLERS)
     @pytest.mark.parametrize("engine", ENGINE_NAMES)
-    def test_no_drift_against_committed(self, engine):
+    def test_no_drift_against_committed(self, engine, sampler):
         """The golden regression gate: regenerate and diff."""
-        diffs = check_goldens(GOLDEN_DIR, (engine,))
-        assert diffs[engine].identical, (
-            f"golden drift for {engine!r}:\n{diffs[engine].summary()}\n"
+        key = golden_key(engine, sampler)
+        diffs = check_goldens(GOLDEN_DIR, (engine,), (sampler,))
+        assert diffs[key].identical, (
+            f"golden drift for {key!r}:\n{diffs[key].summary()}\n"
             "If this change is intentional, regenerate with "
             "`python -m repro.validate.golden tests/golden`."
         )
 
+    @pytest.mark.parametrize("sampler", GOLDEN_SAMPLERS)
     @pytest.mark.parametrize("engine", ENGINE_NAMES)
-    def test_committed_fixture_validates(self, engine):
-        report = validate_trace(Trace.load(golden_path(GOLDEN_DIR, engine)))
+    def test_committed_fixture_validates(self, engine, sampler):
+        trace = Trace.load(golden_path(GOLDEN_DIR, engine, sampler))
+        report = validate_trace(trace)
         assert report.ok, report.summary()
+        assert trace.metadata.get("sampler", "pebs") == sampler
 
     def test_missing_fixture_reported(self, tmp_path):
-        diffs = check_goldens(tmp_path, ("analytic",))
+        diffs = check_goldens(tmp_path, ("analytic",), ("pebs",))
         first = diffs["analytic"].first()
         assert (first.section, first.column) == ("file", "missing")
 
     def test_write_goldens_round_trip(self, tmp_path):
-        paths = write_goldens(tmp_path, ("analytic",))
+        paths = write_goldens(tmp_path, ("analytic",), ("pebs", "spe"))
         assert all(p.exists() for p in paths)
-        assert check_goldens(tmp_path, ("analytic",))["analytic"].identical
+        diffs = check_goldens(tmp_path, ("analytic",), ("pebs", "spe"))
+        assert diffs["analytic"].identical
+        assert diffs["analytic+spe"].identical

@@ -127,6 +127,71 @@ class TestCorruption:
             validate_trace(bad).raise_on_error()
 
 
+class TestBackendAwareSourceLegality:
+    """Remote data-source codes are legal exactly for SPE traces."""
+
+    def spe_trace(self):
+        # GUPS so samples actually reach L3/DRAM — a cache-resident
+        # STREAM leaves nothing for the NUMA model to remap.
+        from repro.workloads.randomaccess import (
+            RandomAccessConfig,
+            RandomAccessWorkload,
+        )
+
+        return run_workload(
+            RandomAccessWorkload(
+                RandomAccessConfig(
+                    table_bytes=1 << 18, updates_per_iteration=1 << 11,
+                    iterations=3,
+                )
+            ),
+            SessionConfig(
+                seed=3,
+                engine="vectorized",
+                tracer=TracerConfig(
+                    sampler="spe", load_period=64, store_period=64,
+                    spe_remote_fraction=0.3,
+                ),
+            ),
+        )
+
+    def test_spe_remote_codes_pass_as_spe(self):
+        trace = self.spe_trace()
+        src = trace.sample_table().source
+        assert np.count_nonzero(
+            (src == int(DataSource.REMOTE_CACHE))
+            | (src == int(DataSource.REMOTE_DRAM))
+        ), "fixture must actually contain remote codes"
+        report = validate_trace(trace, HierarchyConfig())
+        assert report.ok, report.summary()
+
+    def test_spe_remote_codes_fail_under_pebs_rules(self):
+        """The same trace checked as PEBS is illegal: a single-socket
+        PEBS hierarchy never emits remote codes."""
+        report = validate_trace(self.spe_trace(), HierarchyConfig(), sampler="pebs")
+        assert not report.ok
+        assert any("pebs" in i.message for i in issues_for(report, "sources"))
+
+    def test_sampler_defaults_from_metadata(self, trace):
+        """A PEBS trace (no sampler metadata) with a remote code fails
+        without any explicit sampler argument."""
+        src = int(trace.sample_table().source[2])
+        bad = inject_perturbation(
+            trace, "source", 2, int(DataSource.REMOTE_DRAM) - src
+        )
+        report = validate_trace(bad, HierarchyConfig())
+        assert not report.ok
+        assert issues_for(report, "sources")
+
+    def test_unknown_code_fails_for_every_backend(self, trace):
+        src = int(trace.sample_table().source[2])
+        bad = inject_perturbation(trace, "source", 2, 99 - src)
+        for sampler in ("pebs", "spe"):
+            report = validate_trace(bad, HierarchyConfig(), sampler=sampler)
+            assert not report.ok, sampler
+            assert issues_for(report, "sources")
+
+
 class TestEventInvariants:
     def test_out_of_order_events_detected(self, trace):
         events = list(trace.events)
