@@ -46,6 +46,46 @@ def write_result(name: str, text: str) -> Path:
     return path
 
 
+def append_result(name: str, section: str, text: str) -> Path:
+    """Replace (or append) one named section of a shared results file.
+
+    Several benchmarks can contribute to the same committed markdown
+    file without clobbering each other: each owns a section delimited
+    by an HTML-comment marker, and re-running a benchmark rewrites only
+    its own section in place (content before the first marker is kept
+    as a preamble).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    prefix, suffix = "<!-- section: ", " -->"
+    preamble: list[str] = []
+    order: list[str] = []
+    sections: dict[str, list[str]] = {}
+    if path.exists():
+        current: str | None = None
+        for line in path.read_text().splitlines():
+            if line.startswith(prefix) and line.endswith(suffix):
+                current = line[len(prefix):-len(suffix)]
+                order.append(current)
+                sections[current] = []
+            elif current is None:
+                preamble.append(line)
+            else:
+                sections[current].append(line)
+    if section not in order:
+        order.append(section)
+    sections[section] = [text]
+    parts = []
+    head = "\n".join(preamble).strip()
+    if head:
+        parts.append(head)
+    for key in order:
+        body = "\n".join(sections[key]).strip()
+        parts.append(f"{prefix}{key}{suffix}\n{body}")
+    path.write_text("\n\n".join(parts) + "\n")
+    return path
+
+
 @pytest.fixture(scope="session")
 def paper_trace():
     """The §III trace at full published scale."""

@@ -16,7 +16,7 @@ from repro.pipeline import Session, SessionConfig
 from repro.util.tables import format_table
 from repro.workloads import HpcgWorkload
 
-from .conftest import paper_workload_config, write_result
+from .conftest import append_result, paper_workload_config
 
 
 def _session(seed, multiplex):
@@ -69,10 +69,91 @@ def test_multiplex_vs_two_runs(benchmark):
         ("multiplexed run: matched to objects",
          f"{report.matched_fraction * 100:.2f}%"),
     ]
-    write_result(
+    append_result(
         "E7_multiplex_aslr.md",
+        "two-runs",
         format_table(
             ["quantity", "value"], rows,
             title="E7 — single multiplexed run vs two ASLR-randomized runs",
+        ),
+    )
+
+
+def test_multiplex_backends(benchmark):
+    """Per-backend comparison: how each sampler earns one-run capture.
+
+    PEBS needs multiplexing (half duty cycle per event group) to get
+    loads and stores out of a single run; running twice restores the
+    full per-group rate but pays two ASLR-randomized address spaces.
+    ARM SPE never faces the trade-off — loads and stores share one
+    blind hardware stream, so a single run captures both at full rate.
+    """
+    cfg = paper_workload_config(n_iterations=2)
+
+    # PEBS, one multiplexed run: both groups, ~half duty cycle each
+    mpx = _session(seed=11, multiplex=True).run(HpcgWorkload(cfg))
+    # PEBS, two-run emulation: a loads-only run plus a second full-rate
+    # run supplying the stores — each with its own randomized layout
+    loads_run = Session(SessionConfig(
+        seed=12, engine="analytic",
+        tracer=TracerConfig(load_period=50_000, store_period=50_000,
+                            sample_stores=False),
+    )).run(HpcgWorkload(cfg))
+    stores_run = _session(seed=13, multiplex=False).run(HpcgWorkload(cfg))
+
+    # SPE, one run: a single never-multiplexed stream carries both ops
+    def spe_run():
+        return Session(SessionConfig(
+            seed=14, engine="analytic",
+            tracer=TracerConfig(sampler="spe", load_period=50_000,
+                                store_period=50_000),
+        )).run(HpcgWorkload(cfg))
+
+    spe = benchmark.pedantic(spe_run, rounds=1, iterations=1)
+
+    def op_counts(trace):
+        op = trace.sample_table().op
+        return (int((op == int(MemOp.LOAD)).sum()),
+                int((op == int(MemOp.STORE)).sum()))
+
+    mpx_loads, mpx_stores = op_counts(mpx)
+    full_loads, _ = op_counts(loads_run)
+    _, full_stores = op_counts(stores_run)
+    spe_loads, spe_stores = op_counts(spe)
+
+    # the loads-only run really suppressed its store group
+    assert op_counts(loads_run)[1] == 0
+    # multiplexing pays a duty cycle: well below the dedicated run's rate
+    assert mpx_loads < 0.8 * full_loads
+    assert mpx_stores < 0.8 * full_stores
+    # SPE captures both kinds in one run without a multiplex penalty
+    assert spe_loads > 0 and spe_stores > 0
+
+    # two PEBS runs mean two address spaces: the bases don't line up
+    base1 = {o.name: o.start for o in loads_run.objects}
+    base2 = {o.name: o.start for o in stores_run.objects}
+    common = set(base1) & set(base2)
+    moved = [n for n in common if base1[n] != base2[n]]
+    assert len(moved) / len(common) > 0.9
+
+    rows = [
+        ("PEBS multiplexed (1 run): load / store samples",
+         f"{mpx_loads:,} / {mpx_stores:,}"),
+        ("PEBS dedicated runs (2 runs): load / store samples",
+         f"{full_loads:,} / {full_stores:,}"),
+        ("PEBS multiplex duty cycle (loads)",
+         f"{mpx_loads / full_loads * 100:.1f}%"),
+        ("PEBS two-run cost: objects moved by ASLR",
+         f"{len(moved)}/{len(common)}"),
+        ("SPE single stream (1 run): load / store samples",
+         f"{spe_loads:,} / {spe_stores:,}"),
+    ]
+    append_result(
+        "E7_multiplex_aslr.md",
+        "backends",
+        format_table(
+            ["quantity", "value"], rows,
+            title="E7b — one-run capture per backend: PEBS multiplex vs "
+                  "two runs vs SPE",
         ),
     )

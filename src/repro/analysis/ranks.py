@@ -172,6 +172,8 @@ def _fold_one(
     prune_tolerance: float | None,
     align_regions: tuple[str, ...] | None,
     cache_dir: str | None,
+    rep_budget: int | None = None,
+    rep_seed: int = 0,
 ) -> RankFold:
     """Fold one rank (top-level for picklability).
 
@@ -180,7 +182,9 @@ def _fold_one(
     trace.  Either way the fold goes through
     :func:`~repro.folding.report.fold_trace` — the PR-3 FoldPlan
     machinery, with the content-addressed cache when *cache_dir* is
-    given.
+    given.  With *rep_budget* the rank folds only that many
+    representative instances (the extrapolated path); the compact
+    :class:`RankFold` shape is identical either way.
     """
     if trace is None:
         trace = Trace.load(path)
@@ -196,6 +200,13 @@ def _fold_one(
         prune_tolerance=prune_tolerance,
         align_regions=align_regions,
         cache=cache,
+        rep_budget=rep_budget,
+        rep_seed=rep_seed,
+    )
+    # The exact report counts kept samples on .samples.n; the
+    # extrapolated fold counts the representative samples it folded.
+    n_folded = (
+        report.samples.n if hasattr(report, "samples") else report.n_folded
     )
     return RankFold(
         rank=rank,
@@ -203,7 +214,7 @@ def _fold_one(
         digest=trace.digest(),
         n_instances=report.instances.n,
         mean_instance_ns=float(report.instances.mean_duration_ns),
-        n_folded_samples=report.samples.n,
+        n_folded_samples=n_folded,
         counters=report.counters,
         stats=compute_rank_stats(trace),
     )
@@ -217,6 +228,8 @@ def fold_ranks(
     align_regions: tuple[str, ...] | None = None,
     max_workers: int | None = None,
     cache=None,
+    rep_budget: int | None = None,
+    rep_seed: int = 0,
 ) -> list[RankFold]:
     """Fold every rank of a rank-set run (pooled over spill files).
 
@@ -230,6 +243,11 @@ def fold_ranks(
     Pass a :class:`repro.folding.cache.FoldCache` as *cache* to serve
     repeated per-rank folds content-addressed from disk (workers reopen
     the cache directory themselves).
+
+    With *rep_budget* every rank folds only that many representative
+    instances and extrapolates (:mod:`repro.folding.extrapolate`) — the
+    per-rank fold cost scales with the budget instead of the instance
+    count, which multiplies across the whole rank set.
     """
     if max_workers is not None and max_workers < 1:
         raise ValueError(f"max_workers must be positive, got {max_workers}")
@@ -237,7 +255,8 @@ def fold_ranks(
     if not results:
         return []
     cache_dir = str(cache.directory) if cache is not None else None
-    params = (grid_points, bandwidth, prune_tolerance, align_regions, cache_dir)
+    params = (grid_points, bandwidth, prune_tolerance, align_regions,
+              cache_dir, rep_budget, rep_seed)
     workers = (
         min(max_workers, len(results))
         if max_workers is not None

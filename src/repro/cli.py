@@ -251,6 +251,15 @@ def main_fold(argv: list[str] | None = None) -> int:
     p.add_argument("--live-report-every", type=int, default=None, metavar="N",
                    help="with --stream: print a partial-curves progress "
                         "line every N chunks")
+    p.add_argument("--reps", type=int, default=None, metavar="N",
+                   help="fold only N representative instances (cluster "
+                        "medoids) and extrapolate by cluster weight "
+                        "(counters.dat only)")
+    p.add_argument("--rep-seed", type=int, default=0, metavar="SEED",
+                   help="clustering seed for --reps (default 0)")
+    p.add_argument("--rep-report", action="store_true",
+                   help="with --reps: also run the exact fold and print "
+                        "the measured fidelity bound (costs the full fold)")
     args = p.parse_args(argv)
 
     align = None
@@ -263,6 +272,33 @@ def main_fold(argv: list[str] | None = None) -> int:
         from repro.folding.cache import FoldCache
 
         cache = FoldCache(args.cache_dir)
+    if args.rep_report and args.reps is None:
+        p.error("--rep-report requires --reps")
+    if args.reps is not None:
+        if args.stream:
+            p.error("--reps already folds sub-linearly (drop --stream)")
+        if align is not None:
+            p.error("--align needs the exact resident fold (drop --reps)")
+        if args.reps < 1:
+            p.error("--reps must be >= 1")
+        trace = Trace.load(args.trace)
+        if args.rep_report:
+            from repro.folding.extrapolate import measure_fidelity
+
+            ext, bound = measure_fidelity(
+                trace, args.reps, seed=args.rep_seed,
+                grid_points=args.grid, bandwidth=args.bandwidth,
+            )
+        else:
+            ext = fold_trace(
+                trace, grid_points=args.grid, bandwidth=args.bandwidth,
+                cache=cache, rep_budget=args.reps, rep_seed=args.rep_seed,
+            )
+        written = ext.export_gnuplot(args.output_dir)
+        print(ext.summary())
+        for path in written:
+            print(f"wrote {path}")
+        return 0
     if args.stream:
         if align is not None:
             p.error("--align needs the resident fold (drop --stream)")

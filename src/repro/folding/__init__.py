@@ -29,7 +29,12 @@ evolution from coarse-grained sampling:
 * :mod:`repro.folding.stream` — bounded-memory chunkwise folding of
   the performance direction: the exact two-pass
   :func:`stream_fold_trace` (bit-identical to the resident fold) and
-  the single-pass live :class:`LiveFold`.
+  the single-pass live :class:`LiveFold`;
+* :mod:`repro.folding.signatures` / :mod:`repro.folding.reps` /
+  :mod:`repro.folding.extrapolate` — representative-instance sampling:
+  per-instance access-pattern signatures, seeded medoid clustering
+  (:func:`select_representatives`), and the weight-extrapolated fold
+  with a measured fidelity bound (:func:`measure_fidelity`).
 """
 
 from repro.folding.address import FoldedAddresses, fold_addresses
@@ -37,6 +42,12 @@ from repro.folding.align import TimeWarp, build_warp
 from repro.folding.ascii_plot import render_figure
 from repro.folding.cache import FoldCache
 from repro.folding.detect import FoldInstances, instances_from_iterations, instances_from_regions
+from repro.folding.extrapolate import (
+    ExtrapolatedFold,
+    FidelityBound,
+    extrapolated_fold,
+    measure_fidelity,
+)
 from repro.folding.fold import FoldedSamples, fold_samples
 from repro.folding.lines import FoldedLines, fold_lines
 from repro.folding.model import (
@@ -48,6 +59,8 @@ from repro.folding.model import (
 )
 from repro.folding.plan import FoldPlan
 from repro.folding.report import FoldedReport, fold_trace
+from repro.folding.reps import Representatives, select_representatives
+from repro.folding.signatures import InstanceSignatures, instance_signatures
 from repro.folding.stream import (
     LiveFold,
     StreamedFold,
@@ -57,10 +70,14 @@ from repro.folding.stream import (
 )
 
 __all__ = [
+    "ExtrapolatedFold",
+    "FidelityBound",
     "FoldCache",
     "FoldInstances",
     "FoldPlan",
+    "InstanceSignatures",
     "LiveFold",
+    "Representatives",
     "StreamedFold",
     "StreamingFold",
     "TimeWarp",
@@ -70,6 +87,7 @@ __all__ = [
     "FoldedLines",
     "FoldedReport",
     "FoldedSamples",
+    "extrapolated_fold",
     "fit_counter_curves",
     "fold_addresses",
     "fold_counters",
@@ -77,10 +95,13 @@ __all__ = [
     "fold_lines",
     "fold_samples",
     "fold_trace",
+    "instance_signatures",
+    "measure_fidelity",
     "merge_counters",
     "build_warp",
     "render_figure",
     "instances_from_iterations",
     "instances_from_regions",
+    "select_representatives",
     "stream_fold_trace",
 ]

@@ -42,7 +42,9 @@ __all__ = ["FOLD_CACHE_VERSION", "FoldCache"]
 #: Version of the folded-report pipeline baked into every cache key.
 #: Bump when folding output changes (new fit, changed clamps, new
 #: report fields) so stale entries miss instead of resurfacing.
-FOLD_CACHE_VERSION = 1
+#: v2: keys carry a ``kind`` discriminator so extrapolated
+#: (representative-instance) folds can never alias exact reports.
+FOLD_CACHE_VERSION = 2
 
 _ENV_DIR = "REPRO_FOLD_CACHE_DIR"
 _SUFFIX = ".foldreport"
@@ -114,11 +116,22 @@ class FoldCache:
         self._memo: OrderedDict[str, object] = OrderedDict()
 
     # -- keys ----------------------------------------------------------------
-    def key(self, trace: Trace, **params) -> str:
-        """Content address of (trace, fold parameters)."""
+    def key(self, trace: Trace, *, kind: str = "report", **params) -> str:
+        """Content address of (trace, fold kind, fold parameters).
+
+        *kind* discriminates entry families that are **not**
+        bit-identical to each other.  Exact resident and streamed folds
+        share the default ``"report"`` (a streamed entry is a strict
+        subset of the resident report, same bits where they overlap);
+        extrapolated representative folds use ``"extrapolated"`` —
+        their curves are approximations, so sharing a key with an exact
+        entry would silently serve approximate curves to exact callers
+        (and vice versa) whenever fit parameters coincide.
+        """
         blob = json.dumps(
             {
                 "cache_version": FOLD_CACHE_VERSION,
+                "kind": kind,
                 "trace": trace.digest(),
                 "params": {k: _canonical(v) for k, v in sorted(params.items())},
             },

@@ -178,6 +178,9 @@ def fold_trace(
     cache=None,
     streaming: bool = False,
     chunk_rows: int | None = None,
+    representatives=None,
+    rep_budget: int | None = None,
+    rep_seed: int = 0,
 ) -> FoldedReport:
     """One-call folding of a trace into the three-direction report.
 
@@ -220,8 +223,80 @@ def fold_trace(
         *align_regions*.
     chunk_rows:
         Rows per streamed chunk (``streaming=True`` only).
+    representatives:
+        Fold only representative instances and extrapolate.  Pass a
+        prebuilt :class:`~repro.folding.reps.Representatives` selection,
+        or ``True`` to select one here (*rep_budget* instances, seeded
+        by *rep_seed*).  Returns a counters-only
+        :class:`~repro.folding.extrapolate.ExtrapolatedFold` whose
+        curves are weight-extrapolated from the representatives — exact
+        per-instance totals/degenerate flags, approximate curve shape,
+        bit-identical to the exact fold when the budget covers every
+        instance.  Incompatible with *streaming*, *align_regions* and
+        explicit *registry*.
+    rep_budget:
+        Representative budget; implies ``representatives=True``.
+    rep_seed:
+        Clustering seed for the representative selection (part of the
+        cache key).
     """
     from repro.folding.plan import FoldPlan
+
+    if rep_budget is not None and representatives is None:
+        representatives = True
+    if representatives is not None and representatives is not False:
+        from repro.folding.extrapolate import extrapolated_fold
+        from repro.folding.reps import Representatives, select_representatives
+
+        if streaming:
+            raise ValueError(
+                "representative folds are already sub-linear in instances — "
+                "combine with streaming is not supported"
+            )
+        if align_regions is not None or registry is not None:
+            raise ValueError(
+                "representative folds use the linear per-instance projection "
+                "and carry no address view — align_regions/registry need the "
+                "resident fold"
+            )
+        if isinstance(representatives, Representatives):
+            reps = representatives
+            cacheable = False  # the selection is not captured by the key
+        else:
+            if rep_budget is None:
+                raise ValueError(
+                    "representatives=True needs rep_budget (the number of "
+                    "instances to fold)"
+                )
+            reps = select_representatives(
+                trace,
+                instances=instances,
+                budget=rep_budget,
+                seed=rep_seed,
+                prune_tolerance=prune_tolerance,
+            )
+            cacheable = cache is not None and instances is None
+        if cacheable:
+            from repro.folding.extrapolate import ExtrapolatedFold
+
+            key = cache.key(
+                trace,
+                kind="extrapolated",
+                grid_points=grid_points,
+                bandwidth=bandwidth,
+                prune_tolerance=prune_tolerance,
+                rep_budget=rep_budget,
+                rep_seed=rep_seed,
+            )
+            hit = cache.get(key)
+            if isinstance(hit, ExtrapolatedFold):
+                return hit
+        ext = extrapolated_fold(
+            trace, reps, grid_points=grid_points, bandwidth=bandwidth
+        )
+        if cacheable:
+            cache.put(key, ext)
+        return ext
 
     if streaming:
         from repro.folding.stream import DEFAULT_CHUNK_ROWS, stream_fold_trace

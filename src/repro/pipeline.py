@@ -38,6 +38,7 @@ __all__ = [
     "SessionConfig",
     "analyze_hpcg",
     "analyze_hpcg_ranks",
+    "repfold_trace",
     "run_workload",
     "streamfold_trace",
 ]
@@ -180,6 +181,46 @@ def streamfold_trace(
     )
 
 
+def repfold_trace(
+    source,
+    budget: int,
+    seed: int = 0,
+    bandwidth: float = 0.015,
+    grid_points: int = 201,
+    cache=None,
+    measure: bool = False,
+):
+    """Fold only *budget* representative instances and extrapolate.
+
+    The pipeline-level face of representative-instance sampling:
+    cluster the trace's instances by access-pattern signature, fold the
+    cluster medoids only, and reweight — the per-sample cost scales
+    with *budget* instead of the instance count.  Returns a
+    counters-only :class:`~repro.folding.extrapolate.ExtrapolatedFold`;
+    with ``measure=True`` the exact fold is also computed and the
+    result carries a measured
+    :class:`~repro.folding.extrapolate.FidelityBound` (small
+    digest-checked runs only — it costs the full fold).
+    """
+    from repro.folding.extrapolate import measure_fidelity
+
+    trace = source if isinstance(source, Trace) else Trace.load(source)
+    if measure:
+        ext, _ = measure_fidelity(
+            trace, budget, seed=seed,
+            grid_points=grid_points, bandwidth=bandwidth,
+        )
+        return ext
+    return fold_trace(
+        trace,
+        grid_points=grid_points,
+        bandwidth=bandwidth,
+        cache=cache,
+        rep_budget=budget,
+        rep_seed=seed,
+    )
+
+
 def analyze_hpcg(
     trace: Trace,
     bandwidth: float = 0.015,
@@ -203,6 +244,8 @@ def analyze_hpcg_ranks(
     grid_points: int = 201,
     max_workers: int | None = None,
     cache=None,
+    rep_budget: int | None = None,
+    rep_seed: int = 0,
 ):
     """Cluster-level §III analysis over a full rank-set run.
 
@@ -215,6 +258,10 @@ def analyze_hpcg_ranks(
     Returns ``(cluster, report, figure)`` — the cluster report plus the
     interior rank's :class:`~repro.folding.report.FoldedReport` and
     :class:`~repro.analysis.figures.Figure1`.
+
+    With *rep_budget* each rank folds only that many representative
+    instances (extrapolated, seeded by *rep_seed*); the interior rank's
+    single-task report stays exact.
     """
     from repro.analysis.ranks import build_cluster_report, fold_ranks
 
@@ -227,6 +274,8 @@ def analyze_hpcg_ranks(
         bandwidth=bandwidth,
         max_workers=max_workers,
         cache=cache,
+        rep_budget=rep_budget,
+        rep_seed=rep_seed,
     )
     cluster = build_cluster_report(folds)
     interior = results[len(results) // 2]

@@ -156,6 +156,31 @@ class TestFoldRanks:
                 s.counters["instructions"].rate,
             )
 
+    def test_rep_budget_folds_fewer_samples(self, rank_results, folds):
+        """Representative folds keep the per-rank surface but fold only
+        the medoid instances' samples."""
+        reps = fold_ranks(rank_results, grid_points=101, max_workers=2,
+                          rep_budget=1)
+        assert [f.rank for f in reps] == [f.rank for f in folds]
+        for rep, exact in zip(reps, folds):
+            assert rep.n_instances == exact.n_instances
+            assert 0 < rep.n_folded_samples < exact.n_folded_samples
+            assert rep.counters.sigma.size == 101
+        # the merged cluster report builds unchanged from rep folds
+        cluster = build_cluster_report(reps)
+        assert cluster.n_ranks == len(rank_results)
+
+    def test_rep_budget_covering_all_matches_exact(self, rank_results, folds):
+        n = max(f.n_instances for f in folds)
+        reps = fold_ranks(rank_results, grid_points=101, max_workers=2,
+                          rep_budget=n)
+        for rep, exact in zip(reps, folds):
+            assert np.array_equal(
+                rep.counters["instructions"].rate,
+                exact.counters["instructions"].rate,
+            )
+            assert rep.n_folded_samples == exact.n_folded_samples
+
     def test_empty_input(self):
         assert fold_ranks([]) == []
 

@@ -1,0 +1,140 @@
+"""Per-instance signatures: shapes, determinism, feature correctness."""
+
+import numpy as np
+import pytest
+
+from repro.extrae.tracer import TracerConfig
+from repro.folding.detect import instances_from_iterations
+from repro.folding.fold import _inside_mask
+from repro.folding.signatures import (
+    InstanceSignatures,
+    instance_sample_rows,
+    instance_signatures,
+)
+from repro.memsim.patterns import MemOp
+from repro.pipeline import SessionConfig, run_workload
+from repro.simproc.machine import SAMPLE_COUNTERS
+from repro.workloads.stream import StreamConfig, StreamWorkload
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return run_workload(
+        StreamWorkload(StreamConfig(n=1 << 14, iterations=4, blocks=2)),
+        SessionConfig(
+            seed=11,
+            tracer=TracerConfig(load_period=64, store_period=64),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def instances(trace):
+    return instances_from_iterations(trace)
+
+
+@pytest.fixture(scope="module")
+def signatures(trace, instances):
+    return instance_signatures(trace, instances)
+
+
+class TestInstanceSampleRows:
+    def test_matches_inside_mask(self, trace, instances):
+        """The searchsorted slices select exactly the fold's kept rows."""
+        t = trace.sample_table().time_ns
+        rows, idx = instance_sample_rows(
+            t, instances.starts_ns, instances.ends_ns
+        )
+        mask_idx, inside = _inside_mask(
+            t, instances.starts_ns, instances.ends_ns
+        )
+        np.testing.assert_array_equal(rows, np.flatnonzero(inside))
+        np.testing.assert_array_equal(idx, mask_idx[inside])
+
+    def test_subset_of_intervals(self, trace, instances):
+        t = trace.sample_table().time_ns
+        sel = np.array([0, instances.n - 1])
+        rows, idx = instance_sample_rows(
+            t, instances.starts_ns[sel], instances.ends_ns[sel]
+        )
+        assert set(np.unique(idx)) <= {0, 1}
+        # every selected row really lies inside its interval
+        starts, ends = instances.starts_ns[sel], instances.ends_ns[sel]
+        assert np.all(t[rows] >= starts[idx])
+        assert np.all(t[rows] < ends[idx])
+
+    def test_empty(self):
+        rows, idx = instance_sample_rows(
+            np.array([5.0, 6.0]), np.array([10.0]), np.array([20.0])
+        )
+        assert rows.size == 0 and idx.size == 0
+
+
+class TestSignatures:
+    def test_shape_and_names(self, signatures, instances):
+        assert isinstance(signatures, InstanceSignatures)
+        assert signatures.n == instances.n
+        assert signatures.features.shape == (
+            instances.n,
+            len(signatures.feature_names),
+        )
+        for name in SAMPLE_COUNTERS:
+            assert f"{name}_per_ns" in signatures.feature_names
+        for feat in ("duration_ns", "n_samples", "latency_mean",
+                     "op_load", "op_store", "src_l1", "src_dram"):
+            assert feat in signatures.feature_names
+
+    def test_deterministic(self, trace, instances):
+        a = instance_signatures(trace, instances)
+        b = instance_signatures(trace, instances)
+        np.testing.assert_array_equal(a.features, b.features)
+        assert a.feature_names == b.feature_names
+
+    def test_counts_and_duration(self, trace, instances, signatures):
+        cols = dict(zip(signatures.feature_names, signatures.features.T))
+        np.testing.assert_array_equal(
+            cols["duration_ns"], instances.durations_ns
+        )
+        t = trace.sample_table().time_ns
+        _, inside = _inside_mask(t, instances.starts_ns, instances.ends_ns)
+        assert cols["n_samples"].sum() == inside.sum()
+
+    def test_op_mix_is_a_fraction(self, trace, instances, signatures):
+        cols = dict(zip(signatures.feature_names, signatures.features.T))
+        mix = cols["op_load"] + cols["op_store"]
+        # every instance with samples has a complete op mix
+        with_samples = cols["n_samples"] > 0
+        np.testing.assert_allclose(mix[with_samples], 1.0)
+        # STREAM traces sample both kinds
+        assert (cols["op_load"][with_samples] > 0).all()
+
+    def test_op_mix_matches_table(self, trace, instances, signatures):
+        cols = dict(zip(signatures.feature_names, signatures.features.T))
+        table = trace.sample_table()
+        rows, idx = instance_sample_rows(
+            table.time_ns, instances.starts_ns, instances.ends_ns
+        )
+        loads = table.op[rows] == int(MemOp.LOAD)
+        expect = np.bincount(
+            idx, weights=loads, minlength=instances.n
+        ) / np.maximum(np.bincount(idx, minlength=instances.n), 1)
+        np.testing.assert_allclose(cols["op_load"], expect)
+
+    def test_counter_rates_positive(self, signatures):
+        cols = dict(zip(signatures.feature_names, signatures.features.T))
+        # instructions and cycles always advance over an instance
+        assert (cols["instructions_per_ns"] > 0).all()
+        assert (cols["cycles_per_ns"] > 0).all()
+
+    def test_normalized(self, signatures):
+        z = signatures.normalized()
+        assert z.shape == signatures.features.shape
+        assert np.isfinite(z).all()
+        std = signatures.features.std(axis=0)
+        varying = std > 0
+        np.testing.assert_allclose(
+            z[:, varying].mean(axis=0), 0.0, atol=1e-12
+        )
+        np.testing.assert_allclose(z[:, varying].std(axis=0), 1.0)
+        # constant columns become exactly zero, not NaN
+        assert (z[:, ~varying] == 0.0).all()

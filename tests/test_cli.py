@@ -198,6 +198,40 @@ class TestFoldAlignment:
         ) == 0
 
 
+class TestFoldReps:
+    def test_reps_flag(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "reps"
+        assert main_fold([str(trace_file), "-o", str(out), "--reps", "2"]) == 0
+        assert (out / "counters.dat").exists()
+        assert not (out / "addresses.dat").exists()
+        captured = capsys.readouterr().out
+        assert "Extrapolated fold" in captured
+        assert "representatives folded: 2" in captured
+
+    def test_rep_report_prints_fidelity(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "reps"
+        assert main_fold([str(trace_file), "-o", str(out), "--reps", "2",
+                          "--rep-report"]) == 0
+        captured = capsys.readouterr().out
+        assert "fidelity vs exact fold" in captured
+        assert "max curve error" in captured
+
+    def test_rep_report_requires_reps(self, trace_file, tmp_path):
+        with pytest.raises(SystemExit):
+            main_fold([str(trace_file), "-o", str(tmp_path / "x"),
+                       "--rep-report"])
+
+    def test_reps_rejects_stream(self, trace_file, tmp_path):
+        with pytest.raises(SystemExit):
+            main_fold([str(trace_file), "-o", str(tmp_path / "x"),
+                       "--reps", "2", "--stream"])
+
+    def test_reps_rejects_align(self, trace_file, tmp_path):
+        with pytest.raises(SystemExit):
+            main_fold([str(trace_file), "-o", str(tmp_path / "x"),
+                       "--reps", "2", "--align"])
+
+
 class TestTrace:
     def test_info_v2(self, trace_file, capsys):
         assert main_trace(["info", str(trace_file)]) == 0
