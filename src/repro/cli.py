@@ -246,6 +246,11 @@ def main_fold(argv: list[str] | None = None) -> int:
                    help="fold the performance panel chunk by chunk with "
                         "O(chunk) memory (counters.dat only; bit-identical "
                         "curves)")
+    p.add_argument("--directions", default=None, metavar="D1,D2,...",
+                   help="with --stream: comma-separated fold directions "
+                        "(counters,address,lines) — address/lines add the "
+                        "bounded streamed scatter and line track to the "
+                        "export")
     p.add_argument("--chunk-rows", type=int, default=None, metavar="N",
                    help="rows per streamed chunk (with --stream)")
     p.add_argument("--live-report-every", type=int, default=None, metavar="N",
@@ -309,6 +314,11 @@ def main_fold(argv: list[str] | None = None) -> int:
             print(f"  partial fold: mean MIPS {float(mips.mean()):.1f} "
                   f"over σ grid of {mips.size}")
 
+        directions = None
+        if args.directions:
+            directions = tuple(
+                d.strip() for d in args.directions.split(",") if d.strip()
+            )
         # Pass the path, not a loaded Trace: the streaming driver then
         # only ever materializes O(chunk) column slices.
         streamed = stream_fold_trace(
@@ -320,6 +330,7 @@ def main_fold(argv: list[str] | None = None) -> int:
             cache=cache,
             report_every=args.live_report_every,
             on_snapshot=_progress if args.live_report_every else None,
+            directions=directions,
         )
         written = streamed.export_gnuplot(args.output_dir)
         print(streamed.summary())
@@ -328,6 +339,8 @@ def main_fold(argv: list[str] | None = None) -> int:
         return 0
     if args.chunk_rows is not None or args.live_report_every is not None:
         p.error("--chunk-rows/--live-report-every require --stream")
+    if args.directions is not None:
+        p.error("--directions requires --stream")
     trace = Trace.load(args.trace)
     report = fold_trace(trace, grid_points=args.grid,
                         bandwidth=args.bandwidth, align_regions=align,

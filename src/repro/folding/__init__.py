@@ -26,10 +26,15 @@ evolution from coarse-grained sampling:
   against one plan);
 * :mod:`repro.folding.cache` — the opt-in content-addressed on-disk
   report cache keyed by (trace digest, fold parameters);
-* :mod:`repro.folding.stream` — bounded-memory chunkwise folding of
-  the performance direction: the exact two-pass
-  :func:`stream_fold_trace` (bit-identical to the resident fold) and
-  the single-pass live :class:`LiveFold`;
+* :mod:`repro.folding.stream` — bounded-memory chunkwise folding: the
+  exact two-pass :func:`stream_fold_trace` (counter curves
+  bit-identical to the resident fold) and the single-pass live
+  :class:`LiveFold`, both able to carry the streamed address/line
+  directions;
+* :mod:`repro.folding.stream_views` — the bounded per-direction
+  summaries behind the streamed :class:`StreamedReport`: exact
+  additive address accounting, deterministic reservoir + density
+  sketch over the scatter, and (line × σ-bin) count matrices;
 * :mod:`repro.folding.signatures` / :mod:`repro.folding.reps` /
   :mod:`repro.folding.extrapolate` — representative-instance sampling:
   per-instance access-pattern signatures, seeded medoid clustering
@@ -68,6 +73,12 @@ from repro.folding.stream import (
     fold_digest,
     stream_fold_trace,
 )
+from repro.folding.stream_views import (
+    StreamedAddresses,
+    StreamedLines,
+    StreamedReport,
+    measure_address_fidelity,
+)
 
 __all__ = [
     "ExtrapolatedFold",
@@ -78,7 +89,10 @@ __all__ = [
     "InstanceSignatures",
     "LiveFold",
     "Representatives",
+    "StreamedAddresses",
     "StreamedFold",
+    "StreamedLines",
+    "StreamedReport",
     "StreamingFold",
     "TimeWarp",
     "FoldedAddresses",
@@ -96,6 +110,7 @@ __all__ = [
     "fold_samples",
     "fold_trace",
     "instance_signatures",
+    "measure_address_fidelity",
     "measure_fidelity",
     "merge_counters",
     "build_warp",

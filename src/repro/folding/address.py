@@ -76,11 +76,12 @@ class FoldedAddresses:
         return int((self.stores & self.in_range(lo, hi)).sum())
 
     def object_samples(self, name: str) -> np.ndarray:
-        """Mask of samples resolved to the object called *name*."""
-        for i, rec in enumerate(self.registry.records):
-            if rec.name == name:
-                return self.object_index == i
-        raise KeyError(f"no object named {name!r}")
+        """Mask of samples resolved to the object called *name*.
+
+        Resolved through the registry's cached name→index map
+        (O(1) after the first query) instead of scanning the records.
+        """
+        return self.object_index == self.registry.index_of(name)
 
     def sweep_of(self, mask: np.ndarray) -> tuple[float, float]:
         """Linear fit ``address ≈ a + b·σ`` over the masked samples;

@@ -11,8 +11,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.folding.report import FoldedReport
-
 __all__ = ["render_address_panel", "render_counter_panel", "render_figure",
            "render_phase_strip"]
 
@@ -62,15 +60,23 @@ def _scatter_block(sigma, address, is_store, lo, hi, width, height) -> list[str]
 
 
 def render_address_panel(
-    report: FoldedReport, width: int = 100, height: int = 16
+    report, width: int = 100, height: int = 16
 ) -> str:
     """The folded address scatter, split at the heap/mmap gap.
 
     The largest address gap between occupied bands splits the panel
     into a lower block (the matrix on the heap) and an upper block (the
     vectors in the mmap region), like the paper's two tick-label sets.
+
+    *report* is anything carrying an address view — a resident
+    :class:`FoldedReport`, a streamed
+    :class:`~repro.folding.stream_views.StreamedReport` (the panel
+    then renders the reservoir points), or a bare address view itself
+    (``FoldedAddresses``/``StreamedAddresses``).
     """
-    a = report.addresses
+    a = getattr(report, "addresses", report)
+    if a is None:
+        return "(no address direction)"
     if a.n == 0:
         return "(no samples)"
     addrs = np.sort(np.unique(a.address))
@@ -111,8 +117,12 @@ def _curve_row(values: np.ndarray, width: int, vmax: float) -> str:
     return "".join(_BLOCKS[k] for k in levels)
 
 
-def render_counter_panel(report: FoldedReport, width: int = 100) -> str:
-    """MIPS plus the per-instruction miss/branch rates as sparklines."""
+def render_counter_panel(report, width: int = 100) -> str:
+    """MIPS plus the per-instruction miss/branch rates as sparklines.
+
+    Accepts anything with fitted ``counters`` — a resident
+    :class:`FoldedReport` or a streamed report/fold.
+    """
     c = report.counters
     mips = c.mips()
     rows = [
@@ -131,8 +141,8 @@ def render_counter_panel(report: FoldedReport, width: int = 100) -> str:
     return "\n".join(rows)
 
 
-def render_figure(report: FoldedReport, phases=None, width: int = 100) -> str:
-    """The full three-panel text figure."""
+def render_figure(report, phases=None, width: int = 100) -> str:
+    """The full three-panel text figure (resident or streamed)."""
     parts = []
     if phases is not None:
         parts.append("— code (phases) " + "—" * max(0, width - 16))

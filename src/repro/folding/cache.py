@@ -120,13 +120,16 @@ class FoldCache:
         """Content address of (trace, fold kind, fold parameters).
 
         *kind* discriminates entry families that are **not**
-        bit-identical to each other.  Exact resident and streamed folds
-        share the default ``"report"`` (a streamed entry is a strict
-        subset of the resident report, same bits where they overlap);
-        extrapolated representative folds use ``"extrapolated"`` —
-        their curves are approximations, so sharing a key with an exact
-        entry would silently serve approximate curves to exact callers
-        (and vice versa) whenever fit parameters coincide.
+        bit-identical to each other.  Exact resident and counters-only
+        streamed folds share the default ``"report"`` (a streamed entry
+        is a strict subset of the resident report, same bits where they
+        overlap); extrapolated representative folds use
+        ``"extrapolated"`` and multi-direction streamed reports use
+        ``"streamed"`` — their address/line products are bounded
+        summaries (reservoir, sketch, count matrices), so sharing a key
+        with an exact entry would silently serve approximations to
+        exact callers (and vice versa) whenever fit parameters
+        coincide.
         """
         blob = json.dumps(
             {

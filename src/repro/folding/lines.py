@@ -15,8 +15,92 @@ import numpy as np
 
 from repro.extrae.trace import Trace
 from repro.folding.fold import FoldedSamples
+from repro.vmem.callstack import CallStack
 
-__all__ = ["FoldedLines", "fold_lines"]
+__all__ = ["FoldedLines", "LineTableBuilder", "fold_lines", "leaf_and_region"]
+
+
+def leaf_and_region(stack: CallStack) -> tuple[tuple[str, str, int], str]:
+    """A call-stack's source line key and instrumented-region name.
+
+    The *line* is the leaf frame ``(function, file, line)``; the
+    *region* is the innermost instrumented frame — the second-to-leaf
+    frame's function when the batch pushed a source-line leaf, except
+    that a ``Compute*`` leaf names its own region (the HPCG compute
+    kernels are instrumented at the function itself).  Shared by the
+    resident :func:`fold_lines` and the streamed line direction
+    (:mod:`repro.folding.stream_views`), so both derive identical
+    tables from identical call-stacks.
+    """
+    leaf = stack.leaf
+    key = (leaf.function, leaf.file, leaf.line)
+    region = stack.frames[-2].function if stack.depth >= 2 else leaf.function
+    if leaf.function != region and leaf.function.startswith("Compute"):
+        region = leaf.function
+    return key, region
+
+
+class LineTableBuilder:
+    """Incremental interner of call-stacks into line/region tables.
+
+    Feed call-stack ids through :meth:`intern`; line keys and region
+    names are appended to :attr:`line_table`/:attr:`region_table` in
+    the order the ids are first seen, and :meth:`line_ids_of` /
+    :meth:`region_ids_of` map id arrays onto the tables with one
+    vectorized lookup.  The resident fold interns the trace's sorted
+    unique ids once; the streaming fold interns each chunk's unseen
+    ids as they arrive (chunk-invariant: an id's first appearance in a
+    time-ordered stream does not depend on the chunking).
+    """
+
+    def __init__(self, resolver) -> None:
+        #: ``resolver(cs_id) -> CallStack`` (usually ``Trace.callstack``)
+        self._resolver = resolver
+        self.line_table: list[tuple[str, str, int]] = []
+        self.region_table: list[str] = []
+        self._line_lookup: dict[tuple[str, str, int], int] = {}
+        self._region_lookup: dict[str, int] = {}
+        self._cs_line: dict[int, int] = {}
+        self._cs_region: dict[int, int] = {}
+
+    def bind(self, resolver) -> None:
+        """Late-bind the call-stack resolver (live Tracer wiring)."""
+        self._resolver = resolver
+
+    def intern(self, cs_ids) -> None:
+        """Register call-stack ids (iterated in the given order)."""
+        if self._resolver is None:
+            raise ValueError(
+                "no call-stack resolver bound — pass one at construction "
+                "or via bind()"
+            )
+        for cs_id in cs_ids:
+            cs_id = int(cs_id)
+            if cs_id in self._cs_line:
+                continue
+            key, region = leaf_and_region(self._resolver(cs_id))
+            if key not in self._line_lookup:
+                self._line_lookup[key] = len(self.line_table)
+                self.line_table.append(key)
+            self._cs_line[cs_id] = self._line_lookup[key]
+            if region not in self._region_lookup:
+                self._region_lookup[region] = len(self.region_table)
+                self.region_table.append(region)
+            self._cs_region[cs_id] = self._region_lookup[region]
+
+    def _map(self, table: dict[int, int], cs_ids: np.ndarray) -> np.ndarray:
+        uniq = np.unique(np.asarray(cs_ids))
+        vals = np.array([table[int(i)] for i in uniq], dtype=np.int64)
+        # One fancy-indexed gather per sample instead of a Python loop.
+        return vals[np.searchsorted(uniq, np.asarray(cs_ids))]
+
+    def line_ids_of(self, cs_ids: np.ndarray) -> np.ndarray:
+        """Vectorized per-sample line ids (every id must be interned)."""
+        return self._map(self._cs_line, cs_ids)
+
+    def region_ids_of(self, cs_ids: np.ndarray) -> np.ndarray:
+        """Vectorized per-sample region ids."""
+        return self._map(self._cs_region, cs_ids)
 
 
 @dataclass
@@ -82,38 +166,16 @@ def fold_lines(folded: FoldedSamples, trace: Trace) -> FoldedLines:
     """
     table = folded.table
     cs_ids = table.callstack_id
-    unique_ids = np.unique(cs_ids)
-
-    line_table: list[tuple[str, str, int]] = []
-    line_lookup: dict[tuple[str, str, int], int] = {}
-    region_table: list[str] = []
-    region_lookup: dict[str, int] = {}
-    per_cs_line = {}
-    per_cs_region = {}
-    for cs_id in unique_ids:
-        stack = trace.callstack(int(cs_id))
-        leaf = stack.leaf
-        key = (leaf.function, leaf.file, leaf.line)
-        if key not in line_lookup:
-            line_lookup[key] = len(line_table)
-            line_table.append(key)
-        per_cs_line[int(cs_id)] = line_lookup[key]
-        # Innermost *instrumented* frame: the leaf's function if depth
-        # 2, else the frame whose function the region was named after.
-        region = stack.frames[-2].function if stack.depth >= 2 else leaf.function
-        if leaf.function != region and leaf.function.startswith("Compute"):
-            region = leaf.function
-        if region not in region_lookup:
-            region_lookup[region] = len(region_table)
-            region_table.append(region)
-        per_cs_region[int(cs_id)] = region_lookup[region]
-
-    line_id = np.array([per_cs_line[int(i)] for i in cs_ids], dtype=np.int64)
-    region_id = np.array([per_cs_region[int(i)] for i in cs_ids], dtype=np.int64)
+    # Intern the sorted unique ids (the historical table order), then
+    # map per-sample ids with one vectorized gather — the tables are
+    # built once per trace from O(unique call-stacks) Python work, and
+    # the per-sample loops are gone.
+    builder = LineTableBuilder(trace.callstack)
+    builder.intern(np.unique(cs_ids))
     return FoldedLines(
         sigma=folded.sigma,
-        line_id=line_id,
-        line_table=line_table,
-        region_id=region_id,
-        region_table=region_table,
+        line_id=builder.line_ids_of(cs_ids),
+        line_table=builder.line_table,
+        region_id=builder.region_ids_of(cs_ids),
+        region_table=builder.region_table,
     )

@@ -178,6 +178,7 @@ def fold_trace(
     cache=None,
     streaming: bool = False,
     chunk_rows: int | None = None,
+    directions=None,
     representatives=None,
     rep_budget: int | None = None,
     rep_seed: int = 0,
@@ -212,17 +213,23 @@ def fold_trace(
         report is stored before returning.  Only default *instances*
         and *registry* are cacheable (explicit ones bypass the cache).
     streaming:
-        Fold the performance direction chunk by chunk with O(chunk)
-        parent memory instead of materializing the sample table
-        (:func:`repro.folding.stream.stream_fold_trace`).  Returns a
-        counters-only :class:`~repro.folding.stream.StreamedFold` —
-        curves, totals and degenerate flags bit-identical to the
-        resident report's — not a full :class:`FoldedReport`; the
-        address and source-line directions need the resident path.
-        Incompatible with explicit *instances*/*registry* and with
+        Fold chunk by chunk with O(chunk + summary) parent memory
+        instead of materializing the sample table
+        (:func:`repro.folding.stream.stream_fold_trace`).  By default
+        returns the counters-only
+        :class:`~repro.folding.stream.StreamedFold` — curves, totals
+        and degenerate flags bit-identical to the resident report's;
+        with *directions* the streamed address/line products ride
+        along in a
+        :class:`~repro.folding.stream_views.StreamedReport`.
+        Incompatible with explicit *instances* and with
         *align_regions*.
     chunk_rows:
         Rows per streamed chunk (``streaming=True`` only).
+    directions:
+        Fold directions for the streamed report, e.g.
+        ``("counters", "address", "lines")`` (``streaming=True``
+        only); the resident fold always carries all three.
     representatives:
         Fold only representative instances and extrapolate.  Pass a
         prebuilt :class:`~repro.folding.reps.Representatives` selection,
@@ -301,11 +308,18 @@ def fold_trace(
     if streaming:
         from repro.folding.stream import DEFAULT_CHUNK_ROWS, stream_fold_trace
 
-        if instances is not None or registry is not None:
+        if instances is not None:
             raise ValueError(
-                "streaming folds derive instances from the trace and carry "
-                "no address view — explicit instances/registry need the "
-                "resident fold"
+                "streaming folds derive instances from the trace — explicit "
+                "instances need the resident fold"
+            )
+        if registry is not None and (
+            directions is None or "address" not in tuple(directions)
+        ):
+            raise ValueError(
+                "an explicit registry only matters to the streamed address "
+                "direction — pass directions including 'address', or use "
+                "the resident fold"
             )
         if align_regions is not None:
             raise ValueError(
@@ -319,9 +333,16 @@ def fold_trace(
             bandwidth=bandwidth,
             prune_tolerance=prune_tolerance,
             cache=cache,
+            directions=directions,
+            registry=registry,
         )
     if chunk_rows is not None:
         raise ValueError("chunk_rows only applies to streaming folds")
+    if directions is not None:
+        raise ValueError(
+            "directions only applies to streaming folds — the resident "
+            "report always carries all three"
+        )
 
     cacheable = cache is not None and instances is None and registry is None
     if cacheable:

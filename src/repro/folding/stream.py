@@ -59,9 +59,15 @@ Two drivers sit on top of the :class:`StreamingFold` accumulator:
   fit (the bin width, 1/4096, is at most bandwidth/8 for every
   bandwidth the ablations use).
 
-The streamed product is counters-only: the address-space and
-source-line views are inherently O(kept samples) and stay with the
-resident :func:`~repro.folding.report.fold_trace`.
+The streamed product is no longer counters-only: with
+``directions=("counters", "address", "lines")`` the driver also feeds
+the bounded per-direction accumulators of
+:mod:`repro.folding.stream_views` — an exact additive address
+accounting plus a deterministic reservoir and density sketch for the
+scatter, and fixed (line × σ-bin) count matrices for the source-line
+track — and returns a three-direction
+:class:`~repro.folding.stream_views.StreamedReport` in
+O(chunk + summary) parent memory.
 """
 
 from __future__ import annotations
@@ -77,6 +83,14 @@ from repro.extrae.trace import Trace
 from repro.folding.detect import FoldInstances, instances_from_iterations
 from repro.folding.fold import _inside_mask, boundary_increments
 from repro.folding.model import FoldedCounters, fit_counter_curves
+from repro.folding.stream_views import (
+    LINE_SIGMA_BINS,
+    RESERVOIR_CAPACITY,
+    AddressStream,
+    LineStream,
+    StreamedReport,
+)
+from repro.objects.registry import DataObjectRegistry
 from repro.simproc.machine import SAMPLE_COUNTERS
 from repro.util.pava import (
     BIN_THRESHOLD,
@@ -92,6 +106,7 @@ __all__ = [
     "LiveFold",
     "StreamPrologue",
     "StreamedFold",
+    "StreamedReport",
     "StreamingFold",
     "build_prologue",
     "fold_digest",
@@ -141,6 +156,9 @@ class StreamPrologue:
     totals: dict[str, np.ndarray]
     degenerate: dict[str, np.ndarray]
     denom: dict[str, np.ndarray]
+    #: (min, max) address over kept samples — only when the pass was
+    #: asked to track it (the streamed address direction's sketch span)
+    addr_range: tuple[int, int] | None = None
 
 
 def build_prologue(
@@ -150,6 +168,7 @@ def build_prologue(
     *,
     span_override: tuple[float, float] | None = None,
     force_binned: bool = False,
+    track_address: bool = False,
 ) -> StreamPrologue:
     """Stream *chunks* once, resolving boundaries and scalar reductions.
 
@@ -162,7 +181,10 @@ def build_prologue(
 
     ``span_override``/``force_binned`` pin the design regime instead of
     deriving it from the data — :class:`LiveFold` equivalence tests use
-    them; exact folds leave them alone.
+    them; exact folds leave them alone.  With ``track_address`` the
+    chunks must also carry an ``address`` column, and the kept-sample
+    address min/max (the density-sketch span, another exact scalar
+    reduction) is recorded in :attr:`StreamPrologue.addr_range`.
     """
     starts = instances.starts_ns
     ends = instances.ends_ns
@@ -175,6 +197,7 @@ def build_prologue(
     n_rows = 0
     n_kept = 0
     smin, smax = math.inf, -math.inf
+    amin, amax = None, None
 
     for chunk in chunks:
         cols = _chunk_columns(chunk, ("time_ns", *counters))
@@ -193,6 +216,16 @@ def build_prologue(
             smin = min(smin, float(sigma.min()))
             smax = max(smax, float(sigma.max()))
             n_kept += k
+            if track_address:
+                getter = (
+                    chunk.column
+                    if hasattr(chunk, "column")
+                    else chunk.__getitem__
+                )
+                kept = np.asarray(getter("address"))[inside]
+                lo, hi = int(kept.min()), int(kept.max())
+                amin = lo if amin is None else min(amin, lo)
+                amax = hi if amax is None else max(amax, hi)
         resolve = pending & (bounds < t[-1])
         if resolve.any():
             if prev_t is None:
@@ -247,6 +280,7 @@ def build_prologue(
         totals=totals,
         degenerate=degenerate,
         denom=denom,
+        addr_range=(amin, amax) if amin is not None else None,
     )
 
 
@@ -470,6 +504,34 @@ def fold_digest(fold) -> str:
 # Exact two-pass driver.
 # ---------------------------------------------------------------------------
 
+_KNOWN_DIRECTIONS = ("counters", "address", "lines")
+
+
+def _normalize_directions(directions) -> tuple[str, ...] | None:
+    """Canonical direction tuple, or ``None`` for counters-only.
+
+    ``None`` and ``("counters",)`` both mean the PR-6 counters-only
+    fold (a :class:`StreamedFold`); anything more returns the canonical
+    subset of ``("counters", "address", "lines")`` — counters are
+    always folded, so a :class:`StreamedReport` always has its
+    performance direction.
+    """
+    if directions is None:
+        return None
+    if isinstance(directions, str):
+        directions = (directions,)
+    requested = set(directions)
+    unknown = requested - set(_KNOWN_DIRECTIONS)
+    if unknown:
+        raise ValueError(
+            f"unknown fold directions {sorted(unknown)}; "
+            f"choose from {_KNOWN_DIRECTIONS}"
+        )
+    if requested <= {"counters"}:
+        return None
+    requested.add("counters")
+    return tuple(d for d in _KNOWN_DIRECTIONS if d in requested)
+
 
 def stream_fold_trace(
     source: Trace | str | Path,
@@ -482,7 +544,13 @@ def stream_fold_trace(
     cache=None,
     report_every: int | None = None,
     on_snapshot=None,
-) -> StreamedFold:
+    directions=None,
+    registry: DataObjectRegistry | None = None,
+    reservoir_capacity: int = RESERVOIR_CAPACITY,
+    reservoir_seed: int = 0,
+    reservoir_weighting: str = "uniform",
+    line_sigma_bins: int = LINE_SIGMA_BINS,
+) -> StreamedFold | StreamedReport:
     """Fold a trace chunk by chunk — exact, two passes, O(chunk) memory.
 
     Pass 1 builds the instance set from the event sidecar (events are
@@ -502,42 +570,131 @@ def stream_fold_trace(
     chunk_rows:
         Rows per streamed chunk.
     cache:
-        Optional :class:`~repro.folding.cache.FoldCache`.  Keys are
-        identical to the resident fold's, so a trace folded resident
-        serves streamed requests and vice versa (a resident hit is
-        adapted down to its counters-only form; a streamed entry is
-        treated as a miss by the resident path, which overwrites it
-        with the full report).
+        Optional :class:`~repro.folding.cache.FoldCache`.  For the
+        counters-only fold, keys are identical to the resident fold's,
+        so a trace folded resident serves streamed requests and vice
+        versa (a resident hit is adapted down to its counters-only
+        form; a streamed entry is treated as a miss by the resident
+        path, which overwrites it with the full report).  Multi-
+        direction streamed reports are keyed under ``kind="streamed"``
+        — their address/line products are bounded summaries, not the
+        resident views, so they must never alias a resident report.
     report_every:
         Emit a partial-curves snapshot to *on_snapshot* every this many
         chunks of the accumulation pass.
     on_snapshot:
         ``callable(FoldedCounters)`` for the periodic snapshots.
+    directions:
+        Which fold directions to stream.  ``None`` (or
+        ``("counters",)``) keeps the counters-only
+        :class:`StreamedFold`; any superset — up to
+        ``("counters", "address", "lines")`` — returns a
+        :class:`~repro.folding.stream_views.StreamedReport` whose
+        extra directions were accumulated in the same pass 2, still in
+        O(chunk + summary) memory.
+    registry:
+        Object registry for the streamed address direction (default:
+        built from the trace's object records, exactly as the resident
+        fold plan does).
+    reservoir_capacity / reservoir_seed / reservoir_weighting:
+        Scatter reservoir knobs
+        (:class:`~repro.folding.stream_views.AddressReservoir`).
+    line_sigma_bins:
+        σ resolution of the streamed line/region count matrices.
     """
     trace = source if isinstance(source, Trace) else Trace.load(source)
+    dirs = _normalize_directions(directions)
+    want_address = dirs is not None and "address" in dirs
+    want_lines = dirs is not None and "lines" in dirs
     key = None
     if cache is not None:
-        key = cache.key(
-            trace,
-            grid_points=grid_points,
-            bandwidth=bandwidth,
-            prune_tolerance=prune_tolerance,
-            align_regions=None,
-        )
-        hit = cache.get(key)
-        adapted = _adapt_cache_hit(hit)
-        if adapted is not None:
-            return adapted
+        if dirs is None:
+            key = cache.key(
+                trace,
+                grid_points=grid_points,
+                bandwidth=bandwidth,
+                prune_tolerance=prune_tolerance,
+                align_regions=None,
+            )
+            hit = cache.get(key)
+            adapted = _adapt_cache_hit(hit)
+            if adapted is not None:
+                return adapted
+        elif registry is not None:
+            # An explicit registry is not captured by the key (exactly
+            # as the resident fold treats explicit registries): bypass.
+            cache = None
+        else:
+            # chunk_rows is deliberately absent: the products are
+            # chunk-size-invariant, so any chunking serves any other.
+            key = cache.key(
+                trace,
+                kind="streamed",
+                grid_points=grid_points,
+                bandwidth=bandwidth,
+                prune_tolerance=prune_tolerance,
+                directions=dirs,
+                reservoir_capacity=reservoir_capacity,
+                reservoir_seed=reservoir_seed,
+                reservoir_weighting=reservoir_weighting,
+                line_sigma_bins=line_sigma_bins,
+            )
+            hit = cache.get(key)
+            if isinstance(hit, StreamedReport):
+                return hit
     instances = instances_from_iterations(trace)
     if prune_tolerance is not None and instances.n >= 3:
         instances = instances.prune_outliers(prune_tolerance)
     names = ("time_ns", *counters)
+    pass1_names = names + (("address",) if want_address else ())
     prologue = build_prologue(
-        trace.iter_sample_chunks(names, chunk_rows), instances, counters
+        trace.iter_sample_chunks(pass1_names, chunk_rows),
+        instances,
+        counters,
+        track_address=want_address,
     )
     acc = StreamingFold(prologue, grid_points=grid_points, bandwidth=bandwidth)
-    for chunk in trace.iter_sample_chunks(names, chunk_rows):
+    addr_stream = None
+    line_stream = None
+    extras: tuple[str, ...] = ()
+    if want_address:
+        if registry is None:
+            registry = DataObjectRegistry(trace.objects)
+        addr_stream = AddressStream(
+            registry,
+            prologue.addr_range,
+            capacity=reservoir_capacity,
+            seed=reservoir_seed,
+            weighting=reservoir_weighting,
+        )
+        extras += ("address", "op", "source", "latency")
+    if want_lines:
+        line_stream = LineStream(trace.callstack, sigma_bins=line_sigma_bins)
+        extras += ("callstack_id",)
+    starts, ends = instances.starts_ns, instances.ends_ns
+    for chunk in trace.iter_sample_chunks(names + extras, chunk_rows):
         acc.add_chunk(chunk)
+        if extras:
+            getter = (
+                chunk.column if hasattr(chunk, "column") else chunk.__getitem__
+            )
+            t = np.asarray(getter("time_ns"), dtype=np.float64)
+            idx, inside = _inside_mask(t, starts, ends)
+            if inside.any():
+                ik = idx[inside]
+                sigma = (t[inside] - starts[ik]) / (ends[ik] - starts[ik])
+                if addr_stream is not None:
+                    addr_stream.add(
+                        sigma,
+                        np.asarray(getter("address"))[inside],
+                        np.asarray(getter("op"))[inside],
+                        np.asarray(getter("source"))[inside],
+                        np.asarray(getter("latency"))[inside],
+                    )
+                if line_stream is not None:
+                    line_stream.add(
+                        sigma, np.asarray(getter("callstack_id"))[inside]
+                    )
         if (
             report_every
             and on_snapshot is not None
@@ -546,6 +703,13 @@ def stream_fold_trace(
         ):
             on_snapshot(acc.snapshot())
     result = acc.result(chunk_rows=chunk_rows)
+    if dirs is not None:
+        result = StreamedReport(
+            performance=result,
+            addresses=addr_stream.result() if addr_stream is not None else None,
+            lines=line_stream.result() if line_stream is not None else None,
+            directions=dirs,
+        )
     if cache is not None:
         cache.put(key, result)
     return result
@@ -602,6 +766,20 @@ class LiveFold:
     Memory: the design sums plus a raw-row buffer covering the open
     instance and the interpolation window — O(chunk + one instance),
     never O(stream).
+
+    With ``directions`` beyond ``("counters",)`` the flush also feeds
+    the bounded address/line accumulators of
+    :mod:`repro.folding.stream_views`, and :meth:`snapshot_report`
+    serves a partial three-panel
+    :class:`~repro.folding.stream_views.StreamedReport` at any point.
+    Live limitations, both documented approximations of the offline
+    streamed report: the address view has no density sketch (the span
+    is unknowable up front) and no object registry (objects are still
+    being allocated) — resolve offline against the saved trace for
+    full fidelity.  Hook a live fold onto a running simulation with
+    ``TracerConfig(live_fold=...)``; the
+    :class:`~repro.extrae.tracer.Tracer` feeds samples, iteration
+    marks and its call-stack interner automatically.
     """
 
     def __init__(
@@ -610,11 +788,37 @@ class LiveFold:
         grid_points: int = 201,
         bandwidth: float = 0.015,
         name: str = "iteration",
+        directions=None,
+        callstack_resolver=None,
+        reservoir_capacity: int = RESERVOIR_CAPACITY,
+        reservoir_seed: int = 0,
+        reservoir_weighting: str = "uniform",
+        line_sigma_bins: int = LINE_SIGMA_BINS,
     ) -> None:
         self._counters = tuple(counters)
         self.grid_points = grid_points
         self.bandwidth = bandwidth
         self._name = name or "iteration"
+        dirs = _normalize_directions(directions)
+        self._directions = dirs if dirs is not None else ("counters",)
+        self._addr: AddressStream | None = None
+        self._line: LineStream | None = None
+        extras: tuple[str, ...] = ()
+        if "address" in self._directions:
+            self._addr = AddressStream(
+                DataObjectRegistry(),
+                None,
+                capacity=reservoir_capacity,
+                seed=reservoir_seed,
+                weighting=reservoir_weighting,
+            )
+            extras += ("address", "op", "source", "latency")
+        if "lines" in self._directions:
+            self._line = LineStream(
+                callstack_resolver, sigma_bins=line_sigma_bins
+            )
+            extras += ("callstack_id",)
+        self._extras = extras
         self._edges = design_bin_edges(0.0, 1.0)
         k = len(self._counters)
         self._acc_w = np.zeros(DESIGN_BINS, dtype=np.float64)
@@ -634,12 +838,24 @@ class LiveFold:
         self.n_folded = 0
         self.n_chunks = 0
 
+    @property
+    def required_columns(self) -> tuple[str, ...]:
+        """Columns every :meth:`observe` chunk must carry."""
+        return ("time_ns", *self._counters, *self._extras)
+
+    def bind_callstacks(self, resolver) -> None:
+        """Late-bind the call-stack resolver for the line direction
+        (the :class:`~repro.extrae.tracer.Tracer` hook calls this with
+        its trace's interner)."""
+        if self._line is not None:
+            self._line.bind(resolver)
+
     # -- inputs ------------------------------------------------------------
     def observe(self, chunk) -> None:
         """Feed one time-ordered sample chunk."""
         if self._finished:
             raise ValueError("LiveFold is finished")
-        cols = _chunk_columns(chunk, ("time_ns", *self._counters))
+        cols = _chunk_columns(chunk, self.required_columns)
         t = cols["time_ns"]
         self.n_chunks += 1
         if t.size == 0:
@@ -724,6 +940,40 @@ class LiveFold:
         durations = np.asarray([t1 - t0 for t0, t1 in closed])
         return self._fit(float(durations.mean()))
 
+    def snapshot_report(self) -> StreamedReport | None:
+        """Partial three-panel report over the instances flushed so far.
+
+        ``None`` until at least one instance has closed with samples.
+        The performance panel matches :meth:`snapshot`; address and
+        line panels (when their directions are live) hold exactly the
+        flushed samples — a mid-simulation consumer sees the trace
+        folded up to the last completed instance.
+        """
+        counters = self.snapshot()
+        if counters is None:
+            return None
+        closed = tuple(self._intervals[: self._flushed])
+        performance = StreamedFold(
+            instances=FoldInstances(self._name, closed),
+            counters=counters,
+            totals={
+                n: np.asarray(v[: self._flushed], dtype=np.float64)
+                for n, v in self._totals.items()
+            },
+            degenerate={
+                n: np.asarray(v[: self._flushed], dtype=bool)
+                for n, v in self._degen.items()
+            },
+            n_folded=self.n_folded,
+            n_chunks=self.n_chunks,
+        )
+        return StreamedReport(
+            performance=performance,
+            addresses=self._addr.result() if self._addr is not None else None,
+            lines=self._line.result() if self._line is not None else None,
+            directions=self._directions,
+        )
+
     def _fit(self, duration_ns: float) -> FoldedCounters:
         if self.n_folded == 0:
             raise ValueError("cannot fold counters without samples")
@@ -748,7 +998,7 @@ class LiveFold:
             return {}
         return {
             name: np.concatenate([p[name] for p in parts])
-            for name in ("time_ns", *self._counters)
+            for name in self.required_columns
         }
 
     def _boundary(self, at: float) -> dict[str, float]:
@@ -805,6 +1055,16 @@ class LiveFold:
             self._totals[name].append(float(totals[0]))
             self._degen[name].append(bool(degen[0]))
         self._acc_w += np.bincount(which, minlength=DESIGN_BINS)
+        if self._addr is not None:
+            self._addr.add(
+                sigma,
+                window["address"][keep],
+                window["op"][keep],
+                window["source"][keep],
+                window["latency"][keep],
+            )
+        if self._line is not None:
+            self._line.add(sigma, window["callstack_id"][keep])
         self.n_folded += int(tk.size)
 
     def _trim(self) -> None:

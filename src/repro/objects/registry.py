@@ -25,6 +25,8 @@ class DataObjectRegistry:
         self._map = AddressRangeMap()
         self._records: list[ObjectRecord] = []
         self.conflicts: list[tuple[ObjectRecord, ObjectRecord]] = []
+        self._name_index: dict[str, int] | None = None
+        self._payload_by_pos: np.ndarray | None = None
         for record in records or []:
             self.add(record)
 
@@ -38,6 +40,8 @@ class DataObjectRegistry:
             self.conflicts.append((record, winner))
             return False
         self._records.append(record)
+        self._name_index = None
+        self._payload_by_pos = None
         return True
 
     def __len__(self) -> int:
@@ -55,17 +59,48 @@ class DataObjectRegistry:
         iv = self._map.find(int(address))
         return self._records[iv.payload] if iv is not None else None
 
+    def index_of(self, name: str) -> int:
+        """Record index of the first object called *name*.
+
+        Backed by a lazily built name map (invalidated on :meth:`add`),
+        so per-name queries — ``FoldedAddresses.object_samples`` and the
+        streamed address view — cost O(1) instead of a scan over
+        :attr:`records`.  First-match semantics mirror the scan.
+
+        Raises
+        ------
+        KeyError
+            If no registered object has that name.
+        """
+        if self._name_index is None:
+            index: dict[str, int] = {}
+            for i, rec in enumerate(self._records):
+                index.setdefault(rec.name, i)
+            self._name_index = index
+        try:
+            return self._name_index[name]
+        except KeyError:
+            raise KeyError(f"no object named {name!r}") from None
+
     def resolve_bulk(self, addresses: np.ndarray) -> np.ndarray:
         """Vectorized lookup: record index per address, -1 for misses.
 
-        Indices refer to :attr:`records` order.
+        Indices refer to :attr:`records` order.  The interval-position →
+        record-index table is cached on the registry (invalidated on
+        :meth:`add`), so chunkwise callers — the streamed address fold
+        resolves every chunk through one registry — hoist it once per
+        stream instead of rebuilding it per chunk.
         """
         idx = self._map.find_bulk(addresses)
         if len(self._map) == 0:
             return idx
-        # Interval position -> record index (payload).
-        payload_by_pos = np.array([iv.payload for iv in self._map], dtype=np.int64)
-        return np.where(idx >= 0, payload_by_pos[np.maximum(idx, 0)], -1)
+        if self._payload_by_pos is None or len(self._payload_by_pos) != len(
+            self._map
+        ):
+            self._payload_by_pos = np.array(
+                [iv.payload for iv in self._map], dtype=np.int64
+            )
+        return np.where(idx >= 0, self._payload_by_pos[np.maximum(idx, 0)], -1)
 
     def by_kind(self, kind: str) -> list[ObjectRecord]:
         return [r for r in self._records if r.kind == kind]

@@ -157,18 +157,24 @@ def streamfold_trace(
     grid_points: int = 201,
     chunk_rows: int | None = None,
     cache=None,
+    directions=None,
 ):
-    """Fold a trace's performance direction with O(chunk) memory.
+    """Fold a trace chunk by chunk with O(chunk + summary) memory.
 
     The pipeline-level face of
     :func:`repro.folding.stream.stream_fold_trace`: *source* is a
     :class:`~repro.extrae.trace.Trace` or a path to a saved container —
     pass the *path* of a big trace so only O(chunk) column slices are
-    ever resident.  Returns a counters-only
+    ever resident.  By default returns a counters-only
     :class:`~repro.folding.stream.StreamedFold` whose curves, totals
     and degenerate flags are bit-identical to the resident
-    :func:`~repro.folding.report.fold_trace` at the same parameters;
-    cache entries are shared with resident folds under unchanged keys.
+    :func:`~repro.folding.report.fold_trace` at the same parameters
+    (cache entries shared with resident folds under unchanged keys);
+    with ``directions=("counters", "address", "lines")`` returns the
+    three-direction
+    :class:`~repro.folding.stream_views.StreamedReport` — exact
+    address accounting, bounded reservoir/sketch scatter, streamed
+    line track — cached under its own ``kind="streamed"`` keys.
     """
     from repro.folding.stream import DEFAULT_CHUNK_ROWS, stream_fold_trace
 
@@ -178,6 +184,7 @@ def streamfold_trace(
         grid_points=grid_points,
         bandwidth=bandwidth,
         cache=cache,
+        directions=directions,
     )
 
 
