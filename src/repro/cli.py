@@ -13,10 +13,14 @@ Three tools mirroring the BSC workflow (monitor → fold → explore):
 * ``bsc-memtools-cache`` — inspect/clear/prune the content-addressed
   folded-report cache (:mod:`repro.folding.cache`);
 * ``bsc-memtools-trace`` — inspect a trace container (schema,
-  compression, column stats) or convert between container versions.
+  compression, column stats) or convert between container versions;
+* ``bsc-memtools-repo`` — store/list/resolve traces in the
+  content-addressed repository (:mod:`repro.repo`);
+* ``bsc-memtools-serve`` — run the concurrent analysis service over
+  the repository (:mod:`repro.service`).
 
 All commands are also reachable as
-``python -m repro.cli <run|fold|report|validate|cache|trace>``.
+``python -m repro.cli <run|fold|report|validate|cache|trace|repo|serve>``.
 """
 
 from __future__ import annotations
@@ -48,8 +52,10 @@ __all__ = [
     "main",
     "main_cache",
     "main_fold",
+    "main_repo",
     "main_report",
     "main_run",
+    "main_serve",
     "main_trace",
     "main_validate",
 ]
@@ -151,6 +157,12 @@ def main_run(argv: list[str] | None = None) -> int:
     p.add_argument("--keep-spill", action="store_true",
                    help="preserve the per-rank spill directory instead "
                         "of removing it after the run")
+    p.add_argument("--publish", action="store_true",
+                   help="also store the trace in the content-addressed "
+                        "repository (see bsc-memtools-repo)")
+    p.add_argument("--repo-root", default=None, metavar="DIR",
+                   help="repository root for --publish (default "
+                        "$REPRO_TRACE_REPO or ~/.local/share/repro/traces)")
     args = p.parse_args(argv)
 
     config = SessionConfig(
@@ -170,6 +182,11 @@ def main_run(argv: list[str] | None = None) -> int:
                       compression=args.compression)
     print(f"wrote {path} ({trace.n_samples} samples, "
           f"{len(trace.events)} events, {len(trace.objects)} objects)")
+    if args.publish:
+        from repro.pipeline import publish_trace
+
+        entry = publish_trace(trace, args.repo_root)
+        print(f"published {entry.digest} -> {entry.path}")
     return 0
 
 
@@ -481,6 +498,32 @@ def main_cache(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _v1_n_samples(path: str) -> int:
+    """Sample count of a v1 container from one npy header (O(metadata)).
+
+    The v1 layout nests an npz inside the zip; the row count is in the
+    header of any ``.npy`` member, so only those few bytes are
+    decompressed — never a column.
+    """
+    import zipfile
+
+    import numpy as np
+
+    with zipfile.ZipFile(path) as zf, zf.open("samples.npz") as f, \
+            zipfile.ZipFile(f) as npz:
+        names = npz.namelist()
+        if not names:
+            return 0
+        member = "time_ns.npy" if "time_ns.npy" in names else names[0]
+        with npz.open(member) as m:
+            version = np.lib.format.read_magic(m)
+            if version == (1, 0):
+                shape, _, _ = np.lib.format.read_array_header_1_0(m)
+            else:
+                shape, _, _ = np.lib.format.read_array_header_2_0(m)
+            return int(shape[0]) if shape else 1
+
+
 def _trace_info(path: str) -> None:
     import json
     import zipfile
@@ -490,15 +533,26 @@ def _trace_info(path: str) -> None:
         infos = zf.infolist()
     schema = sidecar.get("schema") or 1
     print(f"{path}: trace container v{schema}")
+    span = None
     if schema == 2:
-        manifest = sidecar.get("columns", {})
-        n_samples = next((int(s["n"]) for s in manifest.values()), 0)
+        from repro.extrae.storage import ColumnReader
+
+        with ColumnReader(path) as reader:
+            manifest = reader.manifest
+            n_samples = reader.n_samples
+            if n_samples and "time_ns" in manifest:
+                span = (
+                    float(reader.peek("time_ns", 0)),
+                    float(reader.peek("time_ns", -1)),
+                )
         print(f"  compression: {sidecar.get('compression', 'none')}")
     else:
         manifest = {}
-        n_samples = Trace.load(path).n_samples
+        n_samples = _v1_n_samples(path)
         print("  compression: deflate (npz)")
     print(f"  samples:     {n_samples}")
+    if span is not None:
+        print(f"  time span:   {span[0]:.0f} .. {span[1]:.0f} ns")
     print(f"  events:      {len(sidecar.get('events', []))}")
     print(f"  objects:     {len(sidecar.get('objects', []))}")
     print(f"  labels:      {len(sidecar.get('labels', []))}")
@@ -559,6 +613,133 @@ def main_trace(argv: list[str] | None = None) -> int:
     return 0
 
 
+def main_repo(argv: list[str] | None = None) -> int:
+    """``bsc-memtools-repo``: the content-addressed trace repository."""
+    p = argparse.ArgumentParser(
+        prog="bsc-memtools-repo",
+        description="Store, list and resolve traces in the "
+        "content-addressed repository.",
+    )
+    p.add_argument("--root", default=None, metavar="DIR",
+                   help="repository root (default $REPRO_TRACE_REPO or "
+                        "~/.local/share/repro/traces)")
+    sub = p.add_subparsers(dest="action", required=True)
+    p_put = sub.add_parser("put", help="store a trace container")
+    p_put.add_argument("trace", nargs="+")
+    p_ls = sub.add_parser("list", help="list stored traces")
+    p_ls.add_argument("--json", action="store_true", dest="as_json")
+    p_info = sub.add_parser("info", help="show one entry's metadata")
+    p_info.add_argument("digest")
+    p_path = sub.add_parser("path", help="print a container's path")
+    p_path.add_argument("digest")
+    p_rm = sub.add_parser("rm", help="remove an entry")
+    p_rm.add_argument("digest")
+    sub.add_parser("reindex", help="rebuild index.json from disk")
+    args = p.parse_args(argv)
+
+    import json as _json
+
+    from repro.repo import RepoError, TraceRepo
+
+    repo = TraceRepo(args.root)
+    try:
+        if args.action == "put":
+            for path in args.trace:
+                entry = repo.put(path)
+                print(f"{entry.digest}  {path}")
+        elif args.action == "list":
+            entries = repo.list()
+            if args.as_json:
+                print(_json.dumps(
+                    {e.digest: e.meta for e in entries}, indent=2, sort_keys=True
+                ))
+            else:
+                header = ("digest", "workload", "engine", "sampler",
+                          "seed", "samples", "ms")
+                rows = [e.summary_row() for e in entries]
+                widths = [
+                    max(len(str(h)), *(len(str(r[i])) for r in rows))
+                    if rows else len(str(h))
+                    for i, h in enumerate(header)
+                ]
+                print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+                for row in rows:
+                    print("  ".join(
+                        str(v).ljust(w) for v, w in zip(row, widths)
+                    ))
+                print(f"{len(entries)} trace(s) in {repo.root}")
+        elif args.action == "info":
+            entry = repo.entry(args.digest)
+            print(_json.dumps(entry.meta, indent=2, sort_keys=True))
+        elif args.action == "path":
+            print(repo.get(args.digest))
+        elif args.action == "rm":
+            print(f"removed {repo.remove(args.digest)}")
+        elif args.action == "reindex":
+            index = repo.reindex()
+            print(f"indexed {index['n_traces']} trace(s) in {repo.root}")
+    except RepoError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main_serve(argv: list[str] | None = None) -> int:
+    """``bsc-memtools-serve``: run the concurrent analysis service."""
+    p = argparse.ArgumentParser(
+        prog="bsc-memtools-serve",
+        description="Serve trace listings, index queries and folded "
+        "reports from the trace repository over HTTP/JSON.",
+    )
+    p.add_argument("--root", default=None, metavar="DIR",
+                   help="repository root (default $REPRO_TRACE_REPO or "
+                        "~/.local/share/repro/traces)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787,
+                   help="listen port (0 = ephemeral; default 8787)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="fold worker processes (default 2)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="fold cache shared with the workers "
+                        "(default <root>/foldcache)")
+    p.add_argument("--trace-cache", type=int, default=8,
+                   help="open traces kept mapped (default 8)")
+    p.add_argument("--max-requests", type=int, default=None,
+                   help="stop after N requests (for tests/benchmarks)")
+    args = p.parse_args(argv)
+
+    from repro.repo import TraceRepo
+    from repro.service import AnalysisServer
+
+    repo = TraceRepo(args.root)
+    server = AnalysisServer(
+        repo,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        trace_cache_capacity=args.trace_cache,
+        max_requests=args.max_requests,
+    )
+
+    async def _serve():
+        await server.start()
+        print(f"serving {repo.root} on http://{server.host}:{server.port} "
+              f"({server.workers} fold workers)", flush=True)
+        try:
+            await server._stopped.wait()
+        finally:
+            await server.stop()
+
+    import asyncio
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Dispatcher for ``python -m repro.cli``."""
     commands = {
@@ -568,6 +749,8 @@ def main(argv: list[str] | None = None) -> int:
         "validate": main_validate,
         "cache": main_cache,
         "trace": main_trace,
+        "repo": main_repo,
+        "serve": main_serve,
     }
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] not in commands:

@@ -29,6 +29,7 @@ Container selection and backward compatibility with v1 files live in
 from __future__ import annotations
 
 import json
+import mmap
 import struct
 import zipfile
 from pathlib import Path
@@ -119,10 +120,21 @@ def write_columns(
 class ColumnReader:
     """Lazy column source over a v2 trace file.
 
-    ``load(name)`` materializes one column: a read-only ``np.memmap``
-    for ``ZIP_STORED`` members (zero-copy — the OS pages in only what
-    the pass touches) or an inflate-then-``frombuffer`` for
-    ``ZIP_DEFLATED`` members.  Nothing is read until asked for.
+    ``load(name)`` materializes one column: a zero-copy view over **one
+    shared read-only memory map** of the container for ``ZIP_STORED``
+    members (the OS pages in only what the pass touches) or an
+    inflate-then-``frombuffer`` for ``ZIP_DEFLATED`` members.  Nothing
+    is read until asked for.
+
+    The reader owns exactly one file descriptor (opened lazily with the
+    first stored-column load), regardless of how many columns are
+    materialized — concurrent consumers of the same container (e.g. the
+    analysis service multiplexing requests over one trace) share that
+    single map instead of opening one per column.  :meth:`close`
+    releases it deterministically; the reader is also a context
+    manager.  Closing is refused only for the map itself while live
+    column views still reference its pages (they are dropped from
+    :attr:`loaded` and freed by the GC); the descriptor always closes.
     """
 
     def __init__(self, path: str | Path) -> None:
@@ -140,6 +152,8 @@ class ColumnReader:
         self.manifest = manifest
         #: columns materialized so far (test hook and cache-reuse map)
         self.loaded: dict[str, np.ndarray] = {}
+        self._mmap: mmap.mmap | None = None
+        self._closed = False
 
     @property
     def n_samples(self) -> int:
@@ -151,11 +165,20 @@ class ColumnReader:
     def columns(self) -> tuple[str, ...]:
         return tuple(self.manifest)
 
-    def load(self, name: str) -> np.ndarray:
-        """Materialize one column (cached)."""
-        cached = self.loaded.get(name)
-        if cached is not None:
-            return cached
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _shared_map(self) -> mmap.mmap:
+        """The one read-only map of the container (opened on demand)."""
+        if self._closed:
+            raise ValueError(f"{self.path}: reader is closed")
+        if self._mmap is None:
+            with open(self.path, "rb") as f:
+                self._mmap = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+        return self._mmap
+
+    def _spec(self, name: str) -> tuple[np.dtype, int, zipfile.ZipInfo]:
         spec = self.manifest.get(name)
         if spec is None:
             raise KeyError(f"{self.path}: no column {name!r}")
@@ -163,17 +186,83 @@ class ColumnReader:
         info = self._infos.get(member)
         if info is None:
             raise zipfile.BadZipFile(f"{self.path}: missing member {member!r}")
-        dtype = np.dtype(spec["dtype"])
-        n = int(spec["n"])
+        return np.dtype(spec["dtype"]), int(spec["n"]), info
+
+    def load(self, name: str) -> np.ndarray:
+        """Materialize one column (cached)."""
+        cached = self.loaded.get(name)
+        if cached is not None:
+            return cached
+        dtype, n, info = self._spec(name)
         if info.compress_type == zipfile.ZIP_STORED:
             offset = member_data_offset(self.path, info)
-            arr = np.memmap(self.path, dtype=dtype, mode="r", offset=offset, shape=(n,))
+            arr = np.frombuffer(
+                self._shared_map(), dtype=dtype, count=n, offset=offset
+            )
         else:
             with zipfile.ZipFile(self.path) as zf:
-                raw = zf.read(member)
+                raw = zf.read(_column_member(name))
             arr = np.frombuffer(raw, dtype=dtype, count=n)
         self.loaded[name] = arr
         return arr
+
+    def peek(self, name: str, index: int):
+        """One element of a column without materializing it.
+
+        For ``ZIP_STORED`` members this seeks and reads exactly
+        ``itemsize`` bytes (``bsc-memtools-trace info`` reads the time
+        span of a multi-GB container this way — O(metadata), never a
+        column).  Deflated members fall back to :meth:`load` (already
+        materialized readers reuse the cache either way).
+        """
+        cached = self.loaded.get(name)
+        if cached is not None:
+            return cached[index]
+        dtype, n, info = self._spec(name)
+        if not -n <= index < n:
+            raise IndexError(f"{self.path}: index {index} out of range for {name!r}")
+        if index < 0:
+            index += n
+        if info.compress_type != zipfile.ZIP_STORED:
+            return self.load(name)[index]
+        offset = member_data_offset(self.path, info) + index * dtype.itemsize
+        with open(self.path, "rb") as f:
+            f.seek(offset)
+            raw = _read_exact(f, dtype.itemsize)
+        return np.frombuffer(raw, dtype=dtype, count=1)[0]
+
+    def close(self) -> None:
+        """Release the shared map and its file descriptor (idempotent).
+
+        Cached column views are dropped; if no outside references keep
+        a stored-column view alive the map closes immediately, else the
+        pages stay readable until the last view is garbage-collected
+        (``mmap`` refuses to unmap exported buffers — readers never
+        hand out views that can go dark under a consumer).
+        """
+        self._closed = True
+        self.loaded.clear()
+        if self._mmap is not None:
+            try:
+                self._mmap.close()
+            except BufferError:
+                # Live views still reference the pages; the map closes
+                # when the GC collects them.  The fd is already gone
+                # (the map holds its own reference to the file).
+                pass
+            self._mmap = None
+
+    def __enter__(self) -> "ColumnReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 def _read_exact(stream, nbytes: int) -> bytes:

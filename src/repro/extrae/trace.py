@@ -148,9 +148,17 @@ class SampleTable:
 class _LazySampleTable(SampleTable):
     """Sample table backed by a v2 container: columns load on demand.
 
-    Each column materializes (memory-mapped when the file stores it
-    uncompressed) the first time a pass touches it; untouched columns
-    never leave the file.  Read-only — mutate via :meth:`materialize`.
+    Each column materializes (a view over the reader's one shared
+    memory map when the file stores it uncompressed) the first time a
+    pass touches it; untouched columns never leave the file.  Read-only
+    — mutate via :meth:`materialize`.
+
+    The table owns its reader's file-descriptor lifecycle: close it
+    explicitly with :meth:`close` (or use it as a context manager) and
+    the descriptor is released immediately instead of whenever the GC
+    gets around to it — repeated open/close of the same container is
+    fd-neutral.  Touching an unmaterialized stored column after close
+    raises ``ValueError``.
     """
 
     def __init__(self, reader: ColumnReader) -> None:
@@ -181,6 +189,20 @@ class _LazySampleTable(SampleTable):
         return SampleTable(
             {name: np.array(self.column(name)) for name in _SAMPLE_COLUMNS}
         )
+
+    @property
+    def closed(self) -> bool:
+        return self._reader.closed
+
+    def close(self) -> None:
+        """Release the backing reader's map and descriptor (idempotent)."""
+        self._reader.close()
+
+    def __enter__(self) -> "_LazySampleTable":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class _ChunkBuffer:
@@ -752,6 +774,27 @@ class Trace:
             ],
             table=table,
         )
+
+    # -- resource lifecycle -------------------------------------------------
+    def close(self) -> None:
+        """Release the file resources of a lazily loaded trace.
+
+        For traces backed by a v2 container this closes the shared
+        column map and its file descriptor deterministically
+        (idempotent; see :meth:`_LazySampleTable.close`).  In-memory
+        (recording) traces hold no file resources — close is a no-op —
+        so callers can close any trace uniformly, e.g. via the context
+        manager: ``with Trace.load(path) as trace: ...``.
+        """
+        table = self._table
+        if isinstance(table, _LazySampleTable):
+            table.close()
+
+    def __enter__(self) -> "Trace":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __len__(self) -> int:
         return self.n_samples

@@ -31,6 +31,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -131,11 +132,22 @@ class FoldCache:
         exact callers (and vice versa) whenever fit parameters
         coincide.
         """
+        return self.key_digest(trace.digest(), kind=kind, **params)
+
+    def key_digest(self, trace_digest: str, *, kind: str = "report", **params) -> str:
+        """:meth:`key` from an already-known trace content digest.
+
+        Identical to ``key(trace, ...)`` for a trace whose ``digest()``
+        equals *trace_digest* — callers that know the digest without
+        holding the trace (the analysis service resolves digests from
+        the repository index) derive the same addresses as the fold
+        workers that later populate the entry.
+        """
         blob = json.dumps(
             {
                 "cache_version": FOLD_CACHE_VERSION,
                 "kind": kind,
-                "trace": trace.digest(),
+                "trace": trace_digest,
                 "params": {k: _canonical(v) for k, v in sorted(params.items())},
             },
             sort_keys=True,
@@ -177,7 +189,17 @@ class FoldCache:
         return _rewrap(report)
 
     def put(self, key: str, report) -> Path:
-        """Store *report* under *key* (atomic), then enforce the bound."""
+        """Store *report* under *key* (atomic), then enforce the bound.
+
+        The pickle is staged to a private temp file and published with
+        one ``os.replace`` — concurrent readers of the same key see
+        either the previous complete entry or the new complete entry,
+        never a torn pickle, and concurrent writers of the same key
+        are last-writer-wins (both wrote identical bits: the key is a
+        content address).  A writer dying inside the window leaves the
+        published entry untouched; its staging file is swept by
+        :meth:`prune`/:meth:`clear`.
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
@@ -206,25 +228,43 @@ class FoldCache:
             return []
         return [p for p in self.directory.iterdir() if p.suffix == _SUFFIX]
 
+    def _stat_entries(self) -> list[tuple[float, int, Path]]:
+        """(mtime, size, path) per entry, skipping concurrently deleted ones.
+
+        Several processes may share one cache directory (parallel fold
+        workers, a serving process, a ``cache prune`` invocation); an
+        entry listed a moment ago can be gone by the time it is
+        stat'ed.  That is not an error — the entry simply no longer
+        counts.
+        """
+        out = []
+        for p in self._entries():
+            try:
+                st = p.stat()
+            except OSError:
+                continue
+            out.append((st.st_mtime, st.st_size, p))
+        return out
+
     def stats(self) -> CacheStats:
-        entries = self._entries()
+        entries = self._stat_entries()
         return CacheStats(
             directory=self.directory,
             n_entries=len(entries),
-            total_bytes=sum(p.stat().st_size for p in entries),
+            total_bytes=sum(size for _, size, _ in entries),
             max_bytes=self.max_bytes,
         )
 
     def prune(self, max_bytes: int | None = None) -> int:
         """Evict least-recently-used entries past the size bound.
 
+        Also sweeps staging files orphaned by a writer that died inside
+        its crash window (after ``mkstemp``, before ``os.replace``) —
+        they are invisible to readers but would otherwise accumulate.
         Returns the number of entries removed.
         """
         bound = self.max_bytes if max_bytes is None else max_bytes
-        entries = sorted(
-            ((p.stat().st_mtime, p.stat().st_size, p) for p in self._entries()),
-            reverse=True,
-        )
+        entries = sorted(self._stat_entries(), reverse=True)
         total = 0
         removed = 0
         for _, size, path in entries:
@@ -232,14 +272,43 @@ class FoldCache:
             if total > bound:
                 path.unlink(missing_ok=True)
                 removed += 1
+        self._sweep_stale_tmp()
+        return removed
+
+    def _sweep_stale_tmp(self, min_age_s: float = 3600.0) -> int:
+        """Delete ``.tmp`` staging files older than *min_age_s*.
+
+        The age guard keeps the sweep from racing a live writer that is
+        mid-``pickle.dump``; an hour-old staging file belongs to a
+        process that crashed in its write window.
+        """
+        if not self.directory.is_dir():
+            return 0
+        removed = 0
+        now = time.time()
+        for p in self.directory.iterdir():
+            if p.suffix != ".tmp":
+                continue
+            try:
+                if now - p.stat().st_mtime < min_age_s:
+                    continue
+            except OSError:
+                continue
+            p.unlink(missing_ok=True)
+            removed += 1
         return removed
 
     def clear(self) -> int:
-        """Delete every entry (both tiers); returns the number removed."""
+        """Delete every entry (both tiers); returns the number removed.
+
+        Staging files left by crashed writers are swept too (regardless
+        of age — clear means clear); they do not count as entries.
+        """
         self._memo.clear()
         entries = self._entries()
         for path in entries:
             path.unlink(missing_ok=True)
+        self._sweep_stale_tmp(min_age_s=0.0)
         return len(entries)
 
 

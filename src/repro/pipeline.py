@@ -38,6 +38,7 @@ __all__ = [
     "SessionConfig",
     "analyze_hpcg",
     "analyze_hpcg_ranks",
+    "publish_trace",
     "repfold_trace",
     "run_workload",
     "streamfold_trace",
@@ -149,6 +150,21 @@ def run_workload(
 
         validate_trace(trace, session.config.hierarchy).raise_on_error()
     return trace
+
+
+def publish_trace(trace, repo_root=None, *, extra_meta: dict | None = None):
+    """Store a finished trace in the content-addressed repository.
+
+    The pipeline-level face of :meth:`repro.repo.TraceRepo.put`:
+    *trace* (a :class:`~repro.extrae.trace.Trace` or a container path)
+    is stored under its content digest in the repository at
+    *repo_root* (default: ``$REPRO_TRACE_REPO``, else
+    ``~/.local/share/repro/traces``) and becomes servable by
+    ``bsc-memtools-serve``.  Returns the :class:`~repro.repo.RepoEntry`.
+    """
+    from repro.repo import TraceRepo
+
+    return TraceRepo(repo_root).put(trace, extra_meta=extra_meta)
 
 
 def streamfold_trace(

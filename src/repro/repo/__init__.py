@@ -1,0 +1,5 @@
+"""Content-addressed trace repository (see :mod:`repro.repo.store`)."""
+
+from repro.repo.store import RepoEntry, RepoError, TraceRepo, default_repo_root
+
+__all__ = ["RepoEntry", "RepoError", "TraceRepo", "default_repo_root"]

@@ -1,0 +1,138 @@
+"""Blocking client for the analysis service (stdlib ``http.client``).
+
+Used by the benchmark, the tests and anyone scripting against a
+running ``bsc-memtools-serve``.  One :class:`ServiceClient` wraps one
+keep-alive connection; it remembers the ``ETag`` of every fold it has
+seen and revalidates with ``If-None-Match`` on repeat requests, so a
+warm server answers ``304 Not Modified`` and the client returns its
+locally retained payload.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from urllib.parse import quote, urlencode
+
+from repro.service.payloads import payload_digest
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx (and non-304) response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """One keep-alive connection to an :class:`AnalysisServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+        self._etags: dict[str, str] = {}
+        self._retained: dict[str, dict] = {}
+        self.n_304 = 0
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- raw GET -------------------------------------------------------------
+    def get(self, path: str, headers: dict | None = None) -> tuple[int, dict, bytes]:
+        self._conn.request("GET", path, headers=headers or {})
+        resp = self._conn.getresponse()
+        body = resp.read()
+        return resp.status, dict(resp.getheaders()), body
+
+    def get_json(self, path: str) -> dict:
+        status, _headers, body = self.get(path)
+        if status != 200:
+            raise ServiceError(status, body.decode(errors="replace"))
+        return json.loads(body)
+
+    # -- endpoints -----------------------------------------------------------
+    def healthz(self) -> dict:
+        return self.get_json("/v1/healthz")
+
+    def stats(self) -> dict:
+        return self.get_json("/v1/stats")
+
+    def traces(self) -> dict:
+        return self.get_json("/v1/traces")
+
+    def trace(self, digest: str) -> dict:
+        return self.get_json(f"/v1/traces/{digest}")
+
+    def window(self, digest: str, t0: float, t1: float) -> dict:
+        q = urlencode({"t0": repr(float(t0)), "t1": repr(float(t1))})
+        return self.get_json(f"/v1/traces/{digest}/window?{q}")
+
+    def regions(self, digest: str) -> dict:
+        return self.get_json(f"/v1/traces/{digest}/regions")
+
+    def region(self, digest: str, name: str) -> dict:
+        return self.get_json(f"/v1/traces/{digest}/regions/{quote(name)}")
+
+    def fold(
+        self,
+        digest: str,
+        direction: str = "counters",
+        *,
+        grid: int | None = None,
+        bandwidth: float | None = None,
+        reps: int | None = None,
+        seed: int | None = None,
+        stream: bool = False,
+        points: int | None = None,
+        revalidate: bool = True,
+    ) -> dict:
+        """Fetch a fold payload (ETag-revalidated when seen before).
+
+        The returned payload always verifies: its ``payload_digest``
+        field is recomputed locally and checked before returning.
+        """
+        query = {"direction": direction}
+        if grid is not None:
+            query["grid"] = str(grid)
+        if bandwidth is not None:
+            query["bandwidth"] = repr(bandwidth)
+        if reps is not None:
+            query["reps"] = str(reps)
+        if seed is not None:
+            query["seed"] = str(seed)
+        if stream:
+            query["stream"] = "1"
+        if points is not None:
+            query["points"] = str(points)
+        path = f"/v1/traces/{digest}/fold?{urlencode(query)}"
+        headers = {}
+        if revalidate and path in self._etags:
+            headers["If-None-Match"] = self._etags[path]
+        status, resp_headers, body = self.get(path, headers)
+        if status == 304:
+            self.n_304 += 1
+            return self._retained[path]
+        if status != 200:
+            raise ServiceError(status, body.decode(errors="replace"))
+        payload = json.loads(body)
+        claimed = payload.get("payload_digest")
+        actual = payload_digest(payload)
+        if claimed != actual:
+            raise ServiceError(
+                200, f"payload digest mismatch: {claimed} != {actual}"
+            )
+        etag = resp_headers.get("etag") or resp_headers.get("Etag")
+        if etag:
+            self._etags[path] = etag
+            self._retained[path] = payload
+        return payload

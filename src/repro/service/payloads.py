@@ -1,0 +1,181 @@
+"""JSON payload builders for the analysis service.
+
+Every response body the service caches or serves is built here, from
+the same folded products the batch CLI exports — so a served payload
+can be digest-checked against a direct
+:func:`~repro.folding.report.fold_trace` of the same container
+(``bench_service.py`` does exactly that).
+
+Payloads are **canonical**: dict keys sorted, floats serialized by
+``repr`` through ``json.dumps`` with no whitespace variance, arrays as
+plain lists.  :func:`payload_digest` hashes that canonical form, and
+the digest rides inside the payload under ``"payload_digest"`` so
+clients can verify what they received.  The payload layout is
+versioned by :data:`PAYLOAD_VERSION`, which is part of every ETag —
+bump it when a field changes shape and cached 304 validators die with
+it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+
+__all__ = [
+    "PAYLOAD_VERSION",
+    "address_payload",
+    "canonical_bytes",
+    "counters_payload",
+    "lines_payload",
+    "payload_digest",
+    "seal",
+]
+
+#: Version of the payload layout, baked into ETags and response-cache
+#: keys.  Bump on any shape change.
+PAYLOAD_VERSION = 1
+
+#: Per-instruction rate curves exported next to MIPS/IPC (the same set
+#: the batch exporter writes to ``counters.dat``).
+RATE_COUNTERS = ("branches", "l1d_misses", "l2_misses", "l3_misses")
+
+
+def _floats(arr) -> list[float]:
+    return np.asarray(arr, dtype=np.float64).tolist()
+
+
+def _ints(arr) -> list[int]:
+    return np.asarray(arr, dtype=np.int64).tolist()
+
+
+def canonical_bytes(payload: dict) -> bytes:
+    """The canonical JSON encoding of a payload (stable across runs)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def payload_digest(payload: dict) -> str:
+    """Hex SHA-256 of the canonical form, ``payload_digest`` excluded."""
+    scrubbed = {k: v for k, v in payload.items() if k != "payload_digest"}
+    return hashlib.sha256(canonical_bytes(scrubbed)).hexdigest()
+
+
+def seal(payload: dict) -> dict:
+    """Stamp the content digest into the payload and return it."""
+    payload["payload_digest"] = payload_digest(payload)
+    return payload
+
+
+def counters_payload(fold) -> dict:
+    """The performance direction of a fold, as JSON-able curves.
+
+    Accepts anything carrying ``counters``/``instances`` plus
+    per-instance totals — the resident
+    :class:`~repro.folding.report.FoldedReport`, the
+    :class:`~repro.folding.stream.StreamedFold` and the
+    :class:`~repro.folding.extrapolate.ExtrapolatedFold` all do (their
+    curves are bit-identical across paths by construction, so the
+    payload digest is a property of the *content*, not of which fold
+    path produced it).
+    """
+    counters = fold.counters
+    samples = getattr(fold, "samples", None)
+    if samples is not None:  # a resident FoldedReport
+        n_folded = int(samples.n)
+    else:
+        n_folded = int(fold.n_folded)
+    payload = {
+        "version": PAYLOAD_VERSION,
+        "direction": "counters",
+        "n_instances": int(fold.instances.n),
+        "n_folded": n_folded,
+        "sigma": _floats(counters.sigma),
+        "mips": _floats(counters.mips()),
+        "ipc": _floats(counters.ipc()),
+        "rates": {
+            name: _floats(counters.per_instruction(name))
+            for name in RATE_COUNTERS
+        },
+        "counters_digest": counters.digest(),
+    }
+    return seal(payload)
+
+
+def address_payload(report, max_points: int = 0) -> dict:
+    """The memory direction: per-object accounting + optional scatter.
+
+    The accounting tables are exact and bounded by the object count;
+    the raw (σ, address) scatter is only included up to *max_points*
+    rows (0 = tables only) so a multi-million-sample fold serves a
+    bounded body.
+    """
+    a = report.addresses
+    registry = report.registry
+    objects = []
+    for i, rec in enumerate(registry.records):
+        mask = a.object_index == i
+        n = int(mask.sum())
+        objects.append(
+            {
+                "name": rec.name,
+                "kind": rec.kind,
+                "start": int(rec.start),
+                "end": int(rec.end),
+                "bytes_user": int(rec.bytes_user),
+                "n_samples": n,
+                "mean_latency": (
+                    float(a.latency[mask].mean()) if n else 0.0
+                ),
+                "n_stores": int((a.op[mask] == 1).sum()) if n else 0,
+            }
+        )
+    payload = {
+        "version": PAYLOAD_VERSION,
+        "direction": "address",
+        "n_points": int(a.n),
+        "matched_fraction": a.matched_fraction(),
+        "objects": objects,
+    }
+    if max_points and a.n:
+        keep = slice(0, min(int(max_points), a.n))
+        payload["scatter"] = {
+            "sigma": _floats(a.sigma[keep]),
+            "address": [int(v) for v in a.address[keep]],
+            "op": _ints(a.op[keep]),
+            "latency": _floats(a.latency[keep]),
+        }
+    return seal(payload)
+
+
+def lines_payload(report, max_points: int = 0) -> dict:
+    """The source-code direction: line table + per-line sample counts."""
+    li = report.lines
+    ids, counts = (
+        np.unique(np.asarray(li.line_id), return_counts=True)
+        if li.n
+        else (np.empty(0, np.int64), np.empty(0, np.int64))
+    )
+    lines = [
+        {
+            "function": li.line_table[int(i)][0],
+            "file": li.line_table[int(i)][1],
+            "line": int(li.line_table[int(i)][2]),
+            "n_samples": int(c),
+        }
+        for i, c in zip(ids, counts)
+    ]
+    payload = {
+        "version": PAYLOAD_VERSION,
+        "direction": "lines",
+        "n_points": int(li.n),
+        "lines": lines,
+        "regions": list(li.region_table),
+    }
+    if max_points and li.n:
+        keep = slice(0, min(int(max_points), li.n))
+        payload["track"] = {
+            "sigma": _floats(li.sigma[keep]),
+            "line_id": _ints(li.line_id[keep]),
+        }
+    return seal(payload)

@@ -1,6 +1,8 @@
 """v2 trace container: round-trips, lazy columns, compat with v1 files."""
 
 import json
+import mmap
+import os
 import zipfile
 
 import numpy as np
@@ -78,10 +80,13 @@ class TestLazyLoading:
         path = tmp_path / "mm.bsctrace"
         traced.save(path, version=2, compression="none")
         table = Trace.load(path).sample_table()
-        assert isinstance(table.column("address"), np.memmap)
-        np.testing.assert_array_equal(
-            table.column("address"), traced.sample_table().address
-        )
+        col = table.column("address")
+        # Zero-copy: the column is a view over the reader's one shared
+        # read-only map of the container, not an owned copy.
+        assert not col.flags.owndata
+        assert isinstance(col.base.obj, mmap.mmap)
+        assert col.base.obj is table.column("time_ns").base.obj
+        np.testing.assert_array_equal(col, traced.sample_table().address)
 
     def test_deflate_columns_are_plain_arrays(self, traced, tmp_path):
         path = tmp_path / "defl.bsctrace"
@@ -138,6 +143,101 @@ class TestMalformedV2:
         reader = ColumnReader(path)
         assert reader.n_samples == traced.n_samples
         assert set(reader.columns()) == set(_SAMPLE_COLUMNS)
+
+
+def _open_fds() -> int:
+    """Count this process's open file descriptors (gc-independent)."""
+    fd_dir = "/proc/self/fd"
+    if not os.path.isdir(fd_dir):  # pragma: no cover - non-Linux
+        fd_dir = "/dev/fd"
+        if not os.path.isdir(fd_dir):
+            pytest.skip("no fd directory on this platform")
+    return len(os.listdir(fd_dir))
+
+
+class TestHandleLifecycle:
+    """Explicit close()/context-manager support on the lazy read side."""
+
+    @pytest.fixture()
+    def saved(self, traced, tmp_path):
+        path = tmp_path / "fd.bsctrace"
+        traced.save(path, version=2, compression="none")
+        return path
+
+    def test_repeated_open_close_is_fd_neutral(self, saved):
+        # Warm up caches (zipimport, numpy internals) before baselining.
+        with Trace.load(saved) as t:
+            t.sample_table().column("time_ns")
+        before = _open_fds()
+        for _ in range(8):
+            trace = Trace.load(saved)
+            table = trace.sample_table()
+            table.column("address")
+            table.column("latency")
+            trace.close()
+        assert _open_fds() == before
+
+    def test_one_fd_for_many_columns(self, saved):
+        trace = Trace.load(saved)
+        before = _open_fds()
+        table = trace.sample_table()
+        for name in ("time_ns", "address", "latency", "op", "instructions"):
+            table.column(name)
+        # The shared map costs exactly one descriptor however many
+        # columns materialize.
+        assert _open_fds() == before + 1
+        trace.close()
+        assert _open_fds() == before
+
+    def test_close_is_idempotent_and_marks_table(self, saved):
+        table = Trace.load(saved).sample_table()
+        assert not table.closed
+        table.close()
+        table.close()
+        assert table.closed
+        with pytest.raises(ValueError, match="closed"):
+            table.column("time_ns")
+
+    def test_context_manager_closes_reader(self, saved):
+        with ColumnReader(saved) as reader:
+            reader.load("time_ns")
+            assert not reader.closed
+        assert reader.closed
+
+    def test_materialized_columns_survive_close(self, saved):
+        trace = Trace.load(saved)
+        want = np.array(trace.sample_table().column("address"))
+        table = trace.sample_table()
+        copy = table.materialize()
+        trace.close()
+        np.testing.assert_array_equal(copy.column("address"), want)
+
+    def test_outstanding_views_stay_readable_after_close(self, saved):
+        # close() always releases the descriptor, but live views pin
+        # the map's pages until they are collected — reading through
+        # one after close must not crash or go dark.
+        trace = Trace.load(saved)
+        col = trace.sample_table().column("time_ns")
+        first = float(col[0])
+        trace.close()
+        assert float(col[0]) == first
+
+    def test_peek_reads_one_element_without_loading(self, saved):
+        reader = ColumnReader(saved)
+        want = Trace.load(saved).sample_table().column("time_ns")
+        assert reader.peek("time_ns", 0) == want[0]
+        assert reader.peek("time_ns", -1) == want[-1]
+        assert reader.loaded == {}
+        with pytest.raises(IndexError):
+            reader.peek("time_ns", len(want))
+
+    def test_peek_deflate_falls_back_to_load(self, traced, tmp_path):
+        path = tmp_path / "peek_defl.bsctrace"
+        traced.save(path, version=2, compression="deflate")
+        reader = ColumnReader(path)
+        want = traced.sample_table().time_ns
+        assert reader.peek("time_ns", 0) == want[0]
+        assert "time_ns" in reader.loaded
 
 
 class TestGoldenFixtures:

@@ -1,7 +1,11 @@
 """Tests for the content-addressed folded-report cache and the trace
 content digest it keys on."""
 
+import os
 import pickle
+import time
+from pathlib import Path
+from unittest import mock
 
 import numpy as np
 import pytest
@@ -154,6 +158,121 @@ class TestFoldCache:
             FoldCache(directory=tmp_path, max_bytes=0)
         with pytest.raises(ValueError):
             FoldCache(directory=tmp_path, memo_entries=-1)
+
+
+class TestConcurrentCache:
+    """Atomic publish + tolerance of concurrent readers/writers/pruners."""
+
+    def test_crash_window_leaves_published_entry_intact(self, trace, cache):
+        # A writer that dies between mkstemp and os.replace must leave
+        # (a) the previously published entry readable and (b) only an
+        # invisible staging file behind — readers can never see a torn
+        # pickle because the entry path is only ever written by rename.
+        key = cache.key(trace)
+        report = fold_trace(trace)
+        path = cache.put(key, report)
+        published = path.read_bytes()
+
+        real_replace = os.replace
+
+        def crash_before_publish(src, dst):
+            raise OSError("simulated writer crash inside the window")
+
+        crashed = FoldCache(directory=cache.directory, memo_entries=0)
+        with mock.patch("os.replace", crash_before_publish):
+            with pytest.raises(OSError, match="simulated"):
+                crashed.put(key, report)
+        # mkstemp cleanup is attempted on failure; even if a stale .tmp
+        # survived a harder crash, it must not masquerade as an entry.
+        (cache.directory / "deadbeef.tmp").write_bytes(b"torn pick")
+        assert path.read_bytes() == published
+        fresh = FoldCache(directory=cache.directory, memo_entries=0)
+        assert fresh.stats().n_entries == 1
+        hit = fresh.get(key)
+        assert hit is not None
+        assert os.replace is real_replace
+
+    def test_clear_sweeps_stale_tmp_files(self, trace, cache):
+        cache.put(cache.key(trace), fold_trace(trace))
+        stale = cache.directory / "orphan.tmp"
+        stale.write_bytes(b"partial")
+        assert cache.clear() == 1  # the tmp file is not an entry
+        assert not stale.exists()
+
+    def test_prune_sweeps_old_tmp_keeps_fresh(self, trace, cache):
+        cache.put(cache.key(trace), fold_trace(trace))
+        old = cache.directory / "old.tmp"
+        old.write_bytes(b"x")
+        os.utime(old, (time.time() - 7200, time.time() - 7200))
+        fresh = cache.directory / "fresh.tmp"
+        fresh.write_bytes(b"y")
+        cache.prune()
+        assert not old.exists()  # crashed writer, swept
+        assert fresh.exists()  # possibly a live writer, spared
+
+    def test_stats_and_prune_tolerate_concurrent_deletion(self, trace, cache):
+        report = fold_trace(trace)
+        paths = [cache.put(cache.key(trace, i=i), report) for i in range(3)]
+
+        real_stat = Path.stat
+
+        def racing_stat(self, **kwargs):
+            # Another process evicts paths[0] between listing and stat.
+            if self == paths[0]:
+                try:
+                    os.unlink(self)
+                except FileNotFoundError:
+                    pass
+                raise FileNotFoundError(self)
+            return real_stat(self, **kwargs)
+
+        with mock.patch.object(Path, "stat", racing_stat):
+            stats = cache.stats()
+        assert stats.n_entries == 2
+        with mock.patch.object(Path, "stat", racing_stat):
+            assert cache.prune() == 0
+        assert paths[1].exists() and paths[2].exists()
+
+    def test_parallel_writers_same_key_never_torn(self, trace, cache):
+        # Hammer one key from several threads while readers poll it:
+        # every successful get must unpickle to a complete report.
+        import threading
+
+        report = fold_trace(trace)
+        key = cache.key(trace)
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            w = FoldCache(directory=cache.directory, memo_entries=0)
+            try:
+                for _ in range(10):
+                    w.put(key, report)
+            except Exception as e:  # pragma: no cover - failure path
+                errors.append(e)
+
+        def reader():
+            r = FoldCache(directory=cache.directory, memo_entries=0)
+            try:
+                while not stop.is_set():
+                    hit = r.get(key)
+                    if hit is not None:
+                        assert hit.counters.sigma.size == report.counters.sigma.size
+            except Exception as e:  # pragma: no cover - failure path
+                errors.append(e)
+
+        writers = [threading.Thread(target=writer) for _ in range(4)]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for t in readers + writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert not errors
+        final = FoldCache(directory=cache.directory, memo_entries=0).get(key)
+        assert_reports_identical(final, report)
 
 
 class TestFoldTraceIntegration:

@@ -299,3 +299,163 @@ class TestRegionsRooflineFlags:
     def test_roofline_flag(self, trace_file, capsys):
         assert main_report([str(trace_file), "--roofline"]) == 0
         assert "ridge point" in capsys.readouterr().out
+
+
+class TestTraceInfoLazy:
+    def test_v2_info_never_materializes_a_column(
+        self, trace_file, capsys, monkeypatch
+    ):
+        from repro.extrae.storage import ColumnReader
+
+        def boom(self, name):
+            raise AssertionError(f"info materialized column {name!r}")
+
+        monkeypatch.setattr(ColumnReader, "load", boom)
+        assert main_trace(["info", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "samples:" in out
+        assert "time span:" in out
+
+    def test_v1_info_reads_only_npy_headers(
+        self, trace_file, tmp_path, capsys, monkeypatch
+    ):
+        from repro.extrae.trace import Trace
+
+        v1 = tmp_path / "v1.bsctrace"
+        trace = Trace.load(trace_file)
+        n_samples = trace.n_samples
+        trace.save(v1, version=1)
+
+        def boom(cls, path):
+            raise AssertionError("info eagerly loaded the whole trace")
+
+        monkeypatch.setattr(Trace, "load", classmethod(boom))
+        assert main_trace(["info", str(v1)]) == 0
+        out = capsys.readouterr().out
+        assert f"samples:     {n_samples}" in out
+
+
+class TestRepoCli:
+    def test_put_list_info_path_rm(self, trace_file, tmp_path, capsys):
+        from repro.cli import main_repo
+
+        root = str(tmp_path / "repo")
+        assert main_repo(["--root", root, "put", str(trace_file)]) == 0
+        digest = capsys.readouterr().out.split()[0]
+        assert len(digest) == 64
+
+        assert main_repo(["--root", root, "list"]) == 0
+        out = capsys.readouterr().out
+        assert digest[:12] in out
+        assert "hpcg" in out
+
+        assert main_repo(["--root", root, "info", digest[:8]]) == 0
+        assert '"workload": "hpcg"' in capsys.readouterr().out
+
+        assert main_repo(["--root", root, "path", digest[:8]]) == 0
+        assert capsys.readouterr().out.strip().endswith("trace.bsctrace")
+
+        assert main_repo(["--root", root, "reindex"]) == 0
+        assert main_repo(["--root", root, "rm", digest[:8]]) == 0
+        capsys.readouterr()
+        assert main_repo(["--root", root, "path", digest]) == 1
+
+    def test_list_json(self, trace_file, tmp_path, capsys):
+        import json
+
+        from repro.cli import main_repo
+
+        root = str(tmp_path / "repo")
+        assert main_repo(["--root", root, "put", str(trace_file)]) == 0
+        capsys.readouterr()
+        assert main_repo(["--root", root, "list", "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert len(listing) == 1
+        (meta,) = listing.values()
+        assert meta["workload"] == "hpcg"
+
+    def test_unknown_digest_fails_cleanly(self, tmp_path, capsys):
+        from repro.cli import main_repo
+
+        assert main_repo(
+            ["--root", str(tmp_path / "r"), "info", "deadbeef"]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_dispatch(self, tmp_path, capsys):
+        assert main(["repo", "--root", str(tmp_path / "r"), "list"]) == 0
+
+    def test_run_publish(self, tmp_path, capsys):
+        from repro.cli import main_repo
+
+        root = str(tmp_path / "repo")
+        out_path = tmp_path / "t.bsctrace"
+        assert main_run(
+            ["--workload", "stream", "--nx", "16", "--iterations", "2",
+             "-o", str(out_path), "--publish", "--repo-root", root]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "published " in out
+        digest = out.split("published ", 1)[1].split()[0]
+        assert len(digest) == 64
+
+        assert main_repo(["--root", root, "list", "--json"]) == 0
+        import json
+
+        listing = json.loads(capsys.readouterr().out)
+        assert list(listing) == [digest]
+        assert listing[digest]["workload"] == "stream"
+
+
+class TestServeCli:
+    def test_serve_answers_and_honours_max_requests(
+        self, trace_file, tmp_path, capsys
+    ):
+        import socket
+        import threading
+        import time
+
+        from repro.cli import main_repo, main_serve
+        from repro.service import ServiceClient
+
+        root = str(tmp_path / "repo")
+        assert main_repo(["--root", root, "put", str(trace_file)]) == 0
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+
+        result = {}
+        thread = threading.Thread(
+            target=lambda: result.setdefault(
+                "rc",
+                main_serve(
+                    ["--root", root, "--port", str(port), "--workers", "1",
+                     "--max-requests", "3"]
+                ),
+            ),
+            daemon=True,
+        )
+        thread.start()
+
+        health = listing = None
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            try:
+                with ServiceClient("127.0.0.1", port, timeout=10) as c:
+                    health = c.healthz()
+                    listing = c.traces()
+                    try:
+                        # request 3 trips --max-requests; its response
+                        # may be cut off by the shutdown
+                        c.healthz()
+                    except Exception:
+                        pass
+                break
+            except OSError:
+                time.sleep(0.05)
+        assert health == {"ok": True}
+        assert listing["n_traces"] == 1
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert result.get("rc") == 0
